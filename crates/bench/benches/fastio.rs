@@ -1,0 +1,57 @@
+//! Criterion bench for §3.7: the custom float formatter + buffered
+//! writer against the standard library formatting path. This one is a
+//! genuine host-side measurement — the optimization is algorithmic, not
+//! Sunway-specific, and the speedup should reproduce on any machine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::io::Write;
+use swgmx::fastio::{format_f32_fixed, write_frame, BufferedWriter};
+
+fn values() -> Vec<f32> {
+    (0..10_000)
+        .map(|i| (i as f32 * 0.777) % 100.0 - 50.0)
+        .collect()
+}
+
+fn bench_fastio(c: &mut Criterion) {
+    let vals = values();
+    let mut g = c.benchmark_group("fastio");
+
+    g.bench_function("std_format", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(vals.len() * 12);
+            for &v in &vals {
+                write!(out, "{v:.3} ").unwrap();
+            }
+            black_box(out.len())
+        })
+    });
+
+    g.bench_function("custom_format", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(vals.len() * 12);
+            let mut scratch = [0u8; 32];
+            for &v in &vals {
+                let n = format_f32_fixed(v, 3, &mut scratch);
+                out.extend_from_slice(&scratch[..n]);
+                out.push(b' ');
+            }
+            black_box(out.len())
+        })
+    });
+
+    let frame: Vec<mdsim::Vec3> = (0..3000)
+        .map(|i| mdsim::vec3(i as f32 * 0.1, i as f32 * 0.2, i as f32 * 0.3))
+        .collect();
+    g.bench_function("write_frame_buffered", |b| {
+        b.iter(|| {
+            let mut w = BufferedWriter::with_capacity(std::io::sink(), 1 << 20);
+            write_frame(&mut w, &frame).unwrap();
+            w.flush().unwrap();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fastio);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench of the hand-written FFT (PME substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdsim::fft::{fft, Complex, Grid3};
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for n in [256usize, 1024, 4096] {
+        g.bench_with_input(BenchmarkId::new("fft_1d", n), &n, |b, &n| {
+            let input: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.3).sin(), 0.0))
+                .collect();
+            b.iter(|| {
+                let mut buf = input.clone();
+                fft(&mut buf);
+                buf[1].re
+            })
+        });
+    }
+    for k in [16usize, 32] {
+        g.bench_with_input(BenchmarkId::new("fft_3d", k), &k, |b, &k| {
+            let mut grid = Grid3::new([k, k, k]);
+            for (i, v) in grid.data.iter_mut().enumerate() {
+                *v = Complex::new((i % 17) as f64, 0.0);
+            }
+            b.iter(|| {
+                let mut gcopy = grid.clone();
+                gcopy.fft3();
+                gcopy.data[1].re
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fft);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench of the force-kernel variants (host wall-clock of the
+//! functional simulation; the paper-shape numbers come from the
+//! simulated-cycle harness in `src/bin/fig8_ladder.rs`).
+
+use bench::water_workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use sw26010::cg::CoreGroup;
+use swgmx::kernels::{run_rca, run_rma, run_ustc, RmaConfig};
+
+fn bench_kernels(c: &mut Criterion) {
+    let w = water_workload(3_000, 7);
+    let cg = CoreGroup::new();
+    let mut g = c.benchmark_group("force_kernels_3k");
+    g.sample_size(10);
+    for cfg in [RmaConfig::PKG, RmaConfig::CACHE, RmaConfig::VEC, RmaConfig::MARK] {
+        g.bench_function(cfg.name(), |b| {
+            b.iter(|| run_rma(&w.psys, &w.half, &w.params, &cg, cfg).energies)
+        });
+    }
+    g.bench_function("RCA", |b| {
+        b.iter(|| run_rca(&w.psys, &w.full, &w.params, &cg).energies)
+    });
+    g.bench_function("USTC", |b| {
+        b.iter(|| run_ustc(&w.psys, &w.half, &w.params, &cg).energies)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

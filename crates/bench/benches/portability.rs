@@ -1,0 +1,29 @@
+//! §3.8 portability claim, measured for real: the update-mark strategy
+//! against atomics and plain copies on host threads (wall clock, not
+//! simulation).
+
+use bench::water_workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swgmx::portable::{run_host_parallel, WriteStrategy};
+
+fn bench_portability(c: &mut Criterion) {
+    let w = water_workload(12_000, 13);
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let mut g = c.benchmark_group("host_write_strategies");
+    g.sample_size(10);
+    for strategy in WriteStrategy::ALL {
+        g.bench_with_input(
+            BenchmarkId::new(strategy.name(), threads),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    run_host_parallel(&w.psys, &w.half, &w.params, threads, strategy).energies
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_portability);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench of the Fig. 7 six-shuffle transpose against a scalar
+//! scatter — the 3.4 post-treatment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sw26010::simd::{transpose3_to_interleaved, FloatV4};
+
+fn bench_shuffle(c: &mut Criterion) {
+    let x = FloatV4([1.0, 2.0, 3.0, 4.0]);
+    let y = FloatV4([5.0, 6.0, 7.0, 8.0]);
+    let z = FloatV4([9.0, 10.0, 11.0, 12.0]);
+    let mut g = c.benchmark_group("post_treatment");
+
+    g.bench_function("six_shuffle_transpose", |b| {
+        let mut acc = [0.0f32; 12];
+        b.iter(|| {
+            let t = transpose3_to_interleaved(black_box(x), black_box(y), black_box(z));
+            for (k, v) in t.iter().enumerate() {
+                for lane in 0..4 {
+                    acc[4 * k + lane] += v.0[lane];
+                }
+            }
+            acc[0]
+        })
+    });
+
+    g.bench_function("scalar_scatter", |b| {
+        let mut acc = [0.0f32; 12];
+        b.iter(|| {
+            let (x, y, z) = (black_box(x), black_box(y), black_box(z));
+            for i in 0..4 {
+                acc[3 * i] += x.0[i];
+                acc[3 * i + 1] += y.0[i];
+                acc[3 * i + 2] += z.0[i];
+            }
+            acc[0]
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_shuffle);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench over the Fig. 9 strategy set at a small size, plus an
+//! RmaConfig ablation grid (every cache/simd/mark combination) — the
+//! DESIGN.md ablation list's feature-interaction questions.
+
+use bench::water_workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use sw26010::cg::CoreGroup;
+use swgmx::kernels::{run_rma, RmaConfig};
+
+fn bench_strategies(c: &mut Criterion) {
+    let w = water_workload(3_000, 11);
+    let cg = CoreGroup::new();
+
+    // Ablation grid: print simulated cycles for every valid combination.
+    println!("\n# RmaConfig ablation (simulated kcycles, 3 K particles)");
+    println!("# read  write  simd  mark   kcycles");
+    for read in [false, true] {
+        for write in [false, true] {
+            for simd in [false, true] {
+                for marks in [false, true] {
+                    if marks && !write {
+                        continue; // marks live in the write cache
+                    }
+                    let cfg = RmaConfig {
+                        read_cache: read,
+                        write_cache: write,
+                        simd,
+                        marks,
+                    };
+                    let r = run_rma(&w.psys, &w.half, &w.params, &cg, cfg);
+                    println!(
+                        "# {:>5} {:>6} {:>5} {:>5} {:>9}",
+                        read,
+                        write,
+                        simd,
+                        marks,
+                        r.total.cycles / 1000
+                    );
+                }
+            }
+        }
+    }
+
+    let mut g = c.benchmark_group("strategy_host_time");
+    g.sample_size(10);
+    g.bench_function("mark", |b| {
+        b.iter(|| run_rma(&w.psys, &w.half, &w.params, &cg, RmaConfig::MARK).energies)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

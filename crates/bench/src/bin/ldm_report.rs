@@ -1,0 +1,26 @@
+//! Print the LDM budget tables for every kernel configuration — the
+//! 64 KB constraint the paper designs around, stated explicitly.
+
+use bench::header;
+use swgmx::kernels::RmaConfig;
+use swgmx::ldm_budget::{format_budget, pairgen_budget, rma_budget};
+
+fn main() {
+    header(
+        "LDM budgets — fitting the kernels into 64 KB per CPE",
+        "every reservation the kernels make, against the architectural cap",
+    );
+    let n_pkg: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("package count"))
+        .unwrap_or(16_000);
+    println!("(backing copy sized for {n_pkg} packages)\n");
+    for cfg in [RmaConfig::PKG, RmaConfig::CACHE, RmaConfig::VEC, RmaConfig::MARK] {
+        print!("{}", format_budget(&rma_budget(cfg, n_pkg)));
+        println!();
+    }
+    for ways in [1usize, 2] {
+        print!("{}", format_budget(&pairgen_budget(ways)));
+        println!("  ({}-way associative)\n", ways);
+    }
+}

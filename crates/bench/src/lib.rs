@@ -1,0 +1,86 @@
+//! Shared harness utilities for the per-table/per-figure regenerators.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper: it builds the paper's workload, runs the relevant simulated
+//! kernels, and prints the same rows/series the paper reports, side by
+//! side with the paper's published values. Absolute numbers come from a
+//! simulator, not the authors' machine — the claim being reproduced is
+//! the *shape* (who wins, by what factor, where crossovers fall).
+
+use mdsim::nonbonded::NbParams;
+use mdsim::pairlist::{ListKind, PairList};
+use mdsim::system::System;
+use swgmx::cpelist::CpePairList;
+use swgmx::package::{PackageLayout, PackedSystem};
+
+/// A fully prepared single-CG kernel workload.
+pub struct Workload {
+    /// The system (equilibrated water box).
+    pub sys: System,
+    /// Packed positions (transposed layout, SIMD-ready).
+    pub psys: PackedSystem,
+    /// Half list in kernel form.
+    pub half: CpePairList,
+    /// Full list in kernel form (for RCA).
+    pub full: CpePairList,
+    /// Kernel parameters.
+    pub params: NbParams,
+}
+
+/// Build the paper's water workload of `n_particles` (Table 3 settings:
+/// rlist = 1.0, PME short-range electrostatics).
+pub fn water_workload(n_particles: usize, seed: u64) -> Workload {
+    let n_mol = n_particles / 3;
+    let sys = mdsim::water::water_box(n_mol, 300.0, seed);
+    let params = NbParams::paper_default();
+    let rlist = params.r_cut.min(0.45 * sys.pbc.lengths().x);
+    let params = NbParams {
+        r_cut: rlist,
+        ..params
+    };
+    let half_list = PairList::build(&sys, rlist, ListKind::Half);
+    let full_list = PairList::build(&sys, rlist, ListKind::Full);
+    let psys = PackedSystem::build(&sys, half_list.clustering.clone(), PackageLayout::Transposed);
+    let half = CpePairList::build(&sys, &half_list);
+    let full = CpePairList::build(&sys, &full_list);
+    Workload {
+        sys,
+        psys,
+        half,
+        full,
+        params,
+    }
+}
+
+/// Print a standard report header.
+pub fn header(title: &str, what: &str) {
+    println!("==============================================================");
+    println!("{title}");
+    println!("{what}");
+    println!("==============================================================");
+}
+
+/// Print one `name | paper | measured` row with a ratio note.
+pub fn row(name: &str, paper: f64, measured: f64) {
+    let rel = if paper != 0.0 { measured / paper } else { f64::NAN };
+    println!("{name:<28} paper {paper:>9.2}   measured {measured:>9.2}   (x{rel:>5.2} of paper)");
+}
+
+/// Simple text bar for quick visual comparison.
+pub fn bar(label: &str, value: f64, scale: f64) {
+    let n = ((value * scale).round() as usize).min(70);
+    println!("{label:<24} {value:>8.2} |{}", "#".repeat(n));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_consistent() {
+        let w = water_workload(1200, 1);
+        assert_eq!(w.sys.n(), 1200);
+        assert_eq!(w.half.n_clusters(), w.psys.n_packages());
+        assert!(w.full.n_entries() > w.half.n_entries());
+    }
+}

@@ -1,0 +1,540 @@
+//! The RMA-family force kernel: every CPE keeps a private copy of the
+//! force array in main memory (redundant memory approach) and the copies
+//! are reduced afterwards. Four of the paper's five ladder rungs (Fig. 8)
+//! are configurations of this one kernel:
+//!
+//! | rung    | read cache | write cache | SIMD | Bit-Map |
+//! |---------|-----------|-------------|------|---------|
+//! | `Pkg`   | no        | no          | no   | no      |
+//! | `Cache` | yes       | yes         | no   | no      |
+//! | `Vec`   | yes       | yes         | yes  | no      |
+//! | `Mark`  | yes       | yes         | yes  | yes     |
+//!
+//! Without the Bit-Map, the copies must be zero-initialized before the
+//! calculation and every copy line takes part in the reduction — the two
+//! overheads §3.3 eliminates.
+
+use mdsim::nonbonded::{NbEnergies, NbParams};
+use mdsim::pairlist::ListKind;
+use serde::Serialize;
+use sw26010::cache::{CacheGeometry, ReadCache, WriteCache};
+use sw26010::cg::CoreGroup;
+use sw26010::dma::{Dir, DmaEngine};
+use sw26010::perf::{Breakdown, PerfCounters};
+use sw26010::BitMap;
+
+use crate::cpelist::CpePairList;
+use crate::kernels::common::{
+    add_energy, cluster_pair_scalar, cluster_pair_simd, KernelResult,
+};
+use crate::package::{PackedSystem, FORCE_WORDS, PKG_BYTES, PKG_WORDS};
+
+/// Configuration selecting a ladder rung (or any ablation combination).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct RmaConfig {
+    /// Use the §3.1 read cache for inner-cluster packages.
+    pub read_cache: bool,
+    /// Use the §3.2 deferred-update write cache for force updates.
+    pub write_cache: bool,
+    /// Use the §3.4 `floatv4` arithmetic.
+    pub simd: bool,
+    /// Use the §3.3 Bit-Map update marks.
+    pub marks: bool,
+}
+
+impl RmaConfig {
+    /// Fig. 8 "Pkg": data aggregation only.
+    pub const PKG: Self = Self {
+        read_cache: false,
+        write_cache: false,
+        simd: false,
+        marks: false,
+    };
+    /// Fig. 8 "Cache": + read & write caches.
+    pub const CACHE: Self = Self {
+        read_cache: true,
+        write_cache: true,
+        simd: false,
+        marks: false,
+    };
+    /// Fig. 8 "Vec" (= Fig. 9 "RMA_GMX"): + vectorization.
+    pub const VEC: Self = Self {
+        read_cache: true,
+        write_cache: true,
+        simd: true,
+        marks: false,
+    };
+    /// Fig. 8 "Mark" (= Fig. 9 "MARK_GMX"): + Bit-Map.
+    pub const MARK: Self = Self {
+        read_cache: true,
+        write_cache: true,
+        simd: true,
+        marks: true,
+    };
+
+    /// Display name matching the figures.
+    pub fn name(&self) -> &'static str {
+        match (self.read_cache, self.simd, self.marks) {
+            (false, _, _) => "Pkg",
+            (true, false, _) => "Cache",
+            (true, true, false) => "Vec",
+            (true, true, true) => "Mark",
+        }
+    }
+}
+
+/// Per-CPE output of the calculation phase.
+struct CpeOut {
+    copy: Vec<f32>,
+    marks: Option<BitMap>,
+    e_lj: f64,
+    e_coul: f64,
+    n_pairs: u64,
+    read_stats: sw26010::CacheStats,
+    write_stats: sw26010::CacheStats,
+}
+
+/// Run the RMA-family kernel.
+///
+/// `psys` must use the transposed package layout when `cfg.simd` is set
+/// (the Fig. 6 precondition). The list must be a half list.
+pub fn run_rma(
+    psys: &PackedSystem,
+    list: &CpePairList,
+    params: &NbParams,
+    cg: &CoreGroup,
+    cfg: RmaConfig,
+) -> KernelResult {
+    assert_eq!(list.kind, ListKind::Half, "RMA kernels walk a half list");
+    let n_pkg = psys.n_packages();
+    let copy_words = n_pkg * FORCE_WORDS;
+    let force_geo = CacheGeometry::paper_default(FORCE_WORDS);
+    let pkg_geo = CacheGeometry::paper_default(PKG_WORDS);
+    let mut phases = Breakdown::new();
+
+    // ---- init phase: zero the per-CPE copies (skipped with marks) ----
+    if !cfg.marks {
+        let init = cg.spawn(|ctx| {
+            // Each CPE streams zeros over its whole copy at contended
+            // bandwidth, in cache-line-sized puts.
+            let line_bytes = force_geo.line_bytes();
+            let mut remaining = copy_words * 4;
+            while remaining > 0 {
+                let sz = remaining.min(line_bytes);
+                DmaEngine::transfer_shared(&mut ctx.perf, Dir::Put, sz, true);
+                remaining -= sz;
+            }
+        });
+        phases.add("init", init.region);
+    }
+
+    // ---- calculation phase ----
+    let calc = cg.spawn(|ctx| {
+        // LDM budget: caches + accumulators + list stream buffer.
+        let mut read_cache = cfg.read_cache.then(|| {
+            ctx.ldm
+                .reserve("read cache", pkg_geo.ldm_bytes())
+                .expect("read cache fits LDM");
+            ReadCache::new(pkg_geo)
+        });
+        let mut write_cache = cfg.write_cache.then(|| {
+            ctx.ldm
+                .reserve("write cache", force_geo.ldm_bytes())
+                .expect("write cache fits LDM");
+            if cfg.marks {
+                WriteCache::with_marks(force_geo, n_pkg)
+            } else {
+                WriteCache::new(force_geo)
+            }
+        });
+        ctx.ldm.reserve("list buffer", 2048).expect("list buffer");
+        ctx.ldm
+            .reserve_array::<f32>("accumulators", 2 * FORCE_WORDS)
+            .expect("accumulators");
+
+        let mut copy = vec![0.0f32; copy_words];
+        let mut direct_marks = cfg.marks.then(|| BitMap::new(n_pkg.div_ceil(8)));
+        let mut e_lj = 0.0f64;
+        let mut e_coul = 0.0f64;
+        let mut n_pairs = 0u64;
+
+        let range = cg.block_range(n_pkg, ctx.id);
+        for ci in range {
+            // Fetch own package: through the read cache if present, else
+            // one DMA per outer cluster.
+            let pkg_i: Vec<f32> = match read_cache.as_mut() {
+                Some(rc) => rc.get(&mut ctx.perf, &psys.pos, ci).to_vec(),
+                None => {
+                    DmaEngine::transfer_shared(&mut ctx.perf,
+                        Dir::Get,
+                        PKG_BYTES, true);
+                    psys.package(ci).to_vec()
+                }
+            };
+            // Stream this cluster's slice of the pair list.
+            DmaEngine::transfer_shared(&mut ctx.perf,
+                Dir::Get,
+                list.stream_bytes(ci), true);
+
+            let mut fi = [0.0f32; FORCE_WORDS];
+            for e in list.entries_of(ci) {
+                let cj = list.neighbors[e] as usize;
+                let pkg_j: Vec<f32> = match read_cache.as_mut() {
+                    Some(rc) => rc.get(&mut ctx.perf, &psys.pos, cj).to_vec(),
+                    None => {
+                        DmaEngine::transfer_shared(&mut ctx.perf,
+                            Dir::Get,
+                            PKG_BYTES, true);
+                        psys.package(cj).to_vec()
+                    }
+                };
+                let mut fj = [0.0f32; FORCE_WORDS];
+                let (el, ec, n) = if cfg.simd {
+                    cluster_pair_simd(
+                        psys,
+                        &pkg_i,
+                        &pkg_j,
+                        list.shifts[e],
+                        list.masks[e],
+                        params,
+                        &mut fi,
+                        &mut fj,
+                        &mut ctx.perf,
+                    )
+                } else {
+                    cluster_pair_scalar(
+                        psys,
+                        &pkg_i,
+                        &pkg_j,
+                        list.shifts[e],
+                        list.masks[e],
+                        params,
+                        &mut fi,
+                        &mut fj,
+                        &mut ctx.perf,
+                    )
+                };
+                e_lj += el;
+                e_coul += ec;
+                n_pairs += n as u64;
+                if cj == ci {
+                    // Self pair: the reaction forces land in the same
+                    // package accumulator.
+                    for k in 0..FORCE_WORDS {
+                        fi[k] += fj[k];
+                    }
+                } else {
+                    update_force(
+                        &mut write_cache,
+                        &mut direct_marks,
+                        &mut copy,
+                        cj,
+                        &fj,
+                        n as u64,
+                        &mut ctx.perf,
+                    );
+                }
+            }
+            // F(A) is accumulated in registers and stored once per outer
+            // particle (Algorithm 1 line 13).
+            update_force(
+                &mut write_cache,
+                &mut direct_marks,
+                &mut copy,
+                ci,
+                &fi,
+                4,
+                &mut ctx.perf,
+            );
+        }
+
+        // Flush the write cache so the copy is complete.
+        let (read_stats, write_stats) = {
+            let rs = read_cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+            let ws = match write_cache.as_mut() {
+                Some(wc) => {
+                    wc.flush(&mut ctx.perf, &mut copy);
+                    wc.stats()
+                }
+                None => Default::default(),
+            };
+            (rs, ws)
+        };
+        let marks = match write_cache {
+            Some(wc) => wc.marks().cloned(),
+            None => direct_marks,
+        };
+        CpeOut {
+            copy,
+            marks,
+            e_lj,
+            e_coul,
+            n_pairs,
+            read_stats,
+            write_stats,
+        }
+    });
+    phases.add("calc", calc.region);
+
+    // ---- reduction phase ----
+    let copies: Vec<&Vec<f32>> = calc.results.iter().map(|o| &o.copy).collect();
+    let mark_refs: Option<Vec<&BitMap>> = if cfg.marks {
+        Some(calc.results.iter().map(|o| o.marks.as_ref().unwrap()).collect())
+    } else {
+        None
+    };
+    let (slot_forces, reduce_region) =
+        reduce_copies(cg, &copies, mark_refs.as_deref(), n_pkg, force_geo);
+    phases.add("reduce", reduce_region);
+
+    // ---- assemble result ----
+    let mut energies = NbEnergies::default();
+    let mut read_hits = 0u64;
+    let mut read_misses = 0u64;
+    let mut write_hits = 0u64;
+    let mut write_misses = 0u64;
+    for o in &calc.results {
+        add_energy(&mut energies, o.e_lj, o.e_coul, o.n_pairs as u32, false);
+        read_hits += o.read_stats.hits;
+        read_misses += o.read_stats.misses;
+        write_hits += o.write_stats.hits;
+        write_misses += o.write_stats.misses;
+    }
+    // add_energy saturates n at u32; recompute the exact pair count.
+    energies.pairs_within_cutoff = calc.results.iter().map(|o| o.n_pairs).sum();
+
+    let mut total = PerfCounters::new();
+    for (_, c) in phases.iter() {
+        total.merge_seq(c);
+    }
+    KernelResult {
+        forces: psys.forces_to_particle_order(&slot_forces),
+        energies,
+        total,
+        phases,
+        read_miss_ratio: ratio(read_misses, read_hits),
+        write_miss_ratio: ratio(write_misses, write_hits),
+    }
+}
+
+fn ratio(misses: u64, hits: u64) -> f64 {
+    if misses + hits == 0 {
+        0.0
+    } else {
+        misses as f64 / (misses + hits) as f64
+    }
+}
+
+/// Route one force-package delta into the copy.
+///
+/// With a write cache (Cache/Vec/Mark rungs) this is one deferred
+/// accumulate. Without one (Pkg rung), Algorithm 1 is taken literally:
+/// "after every calculation of particle pairs, the interaction of B
+/// particle will be updated" — each of the `n_updates` per-particle
+/// contributions is a dependent 12 B read-modify-write round trip, which
+/// is "too frequent for the low bandwidth between MPE and CPEs" (§3.2)
+/// and is exactly the cost deferred update removes.
+fn update_force(
+    write_cache: &mut Option<WriteCache>,
+    direct_marks: &mut Option<BitMap>,
+    copy: &mut [f32],
+    pkg: usize,
+    delta: &[f32; FORCE_WORDS],
+    n_updates: u64,
+    perf: &mut PerfCounters,
+) {
+    match write_cache {
+        Some(wc) => wc.update(perf, copy, pkg, delta),
+        None => {
+            const PARTICLE_FORCE_BYTES: usize = 12; // one xyz triple
+            for _ in 0..n_updates {
+                DmaEngine::transfer_shared(perf, Dir::Get, PARTICLE_FORCE_BYTES, true);
+                DmaEngine::transfer_shared(perf, Dir::Put, PARTICLE_FORCE_BYTES, true);
+            }
+            let base = pkg * FORCE_WORDS;
+            for (d, v) in copy[base..base + FORCE_WORDS].iter_mut().zip(delta) {
+                *d += v;
+            }
+            if let Some(m) = direct_marks {
+                m.set(pkg / 8);
+            }
+        }
+    }
+}
+
+/// Reduce per-CPE copies into one slot-ordered force array (Alg. 4).
+///
+/// Lines are distributed across CPEs; with marks, only copy lines whose
+/// mark bit is set are fetched and added (`init_skips` on the gather
+/// side). Returns the summed array and the phase cost.
+pub fn reduce_copies(
+    cg: &CoreGroup,
+    copies: &[&Vec<f32>],
+    marks: Option<&[&BitMap]>,
+    n_pkg: usize,
+    geo: CacheGeometry,
+) -> (Vec<f32>, PerfCounters) {
+    let line_pkgs = geo.line_elems;
+    let n_lines = n_pkg.div_ceil(line_pkgs);
+    let line_words = geo.line_words();
+    let copy_words = n_pkg * FORCE_WORDS;
+
+    let out = cg.spawn(|ctx| {
+        ctx.ldm
+            .reserve("reduce buffers", 2 * geo.line_bytes())
+            .expect("reduce buffers fit LDM");
+        let line_range = cg.block_range(n_lines, ctx.id);
+        let mut partial = vec![0.0f32; line_range.len() * line_words];
+        for (li, line) in line_range.clone().enumerate() {
+            let word_lo = line * line_words;
+            let word_hi = (word_lo + line_words).min(copy_words);
+            let acc_base = li * line_words;
+            for (c, copy) in copies.iter().enumerate() {
+                if let Some(m) = marks {
+                    if !m[c].get(line) {
+                        continue; // Alg. 4 line 4: unmarked -> skip fetch
+                    }
+                }
+                DmaEngine::transfer_shared(&mut ctx.perf,
+                    Dir::Get,
+                    (word_hi - word_lo) * 4, true);
+                for (k, w) in (word_lo..word_hi).enumerate() {
+                    partial[acc_base + k] += copy[w];
+                }
+                sw26010::simd::meter::simd_ops(&mut ctx.perf, (line_words as u64) / 4);
+            }
+            // One put of the reduced line to the final force array.
+            DmaEngine::transfer_shared(&mut ctx.perf,
+                Dir::Put,
+                (word_hi - word_lo) * 4, true);
+        }
+        (line_range, partial)
+    });
+
+    let mut slot_forces = vec![0.0f32; copy_words];
+    for (line_range, partial) in &out.results {
+        if line_range.is_empty() {
+            continue;
+        }
+        let word_lo = line_range.start * line_words;
+        let n = partial.len().min(copy_words.saturating_sub(word_lo));
+        slot_forces[word_lo..word_lo + n].copy_from_slice(&partial[..n]);
+    }
+    (slot_forces, out.region)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::PackageLayout;
+    use mdsim::nonbonded::{compute_forces_half, max_force_diff};
+    use mdsim::pairlist::PairList;
+    use mdsim::water::water_box;
+
+    /// Test radius: boxes of >= 800 molecules (~2.9 nm) keep
+    /// rlist + 2 x cluster radius under half the box edge, so the
+    /// per-cluster-pair shifts are exact minimum images.
+    const RLIST: f32 = 0.7;
+
+    fn test_params() -> NbParams {
+        NbParams {
+            r_cut: RLIST,
+            ..NbParams::paper_default()
+        }
+    }
+
+    fn setup(n_mol: usize, seed: u64) -> (mdsim::System, PackedSystem, CpePairList, NbParams) {
+        let sys = water_box(n_mol, 300.0, seed);
+        let list = PairList::build(&sys, RLIST, ListKind::Half);
+        let cpe = CpePairList::build(&sys, &list);
+        let psys = PackedSystem::build(&sys, list.clustering.clone(), PackageLayout::Transposed);
+        (sys, psys, cpe, test_params())
+    }
+
+    fn reference(sys: &mdsim::System, params: &NbParams) -> (Vec<mdsim::Vec3>, NbEnergies) {
+        let mut r = sys.clone();
+        let list = PairList::build(&r, RLIST, ListKind::Half);
+        r.clear_forces();
+        let en = compute_forces_half(&mut r, &list, params);
+        (r.force, en)
+    }
+
+    fn check_against_reference(cfg: RmaConfig) {
+        let (sys, psys, cpe, params) = setup(800, 71);
+        let cg = CoreGroup::new();
+        let out = run_rma(&psys, &cpe, &params, &cg, cfg);
+        let (f_ref, en_ref) = reference(&sys, &params);
+        assert_eq!(out.energies.pairs_within_cutoff, en_ref.pairs_within_cutoff);
+        let rel = (out.energies.total() - en_ref.total()).abs() / en_ref.total().abs();
+        assert!(rel < 1e-5, "{cfg:?}: energy {} vs {}", out.energies.total(), en_ref.total());
+        let fmax = f_ref.iter().map(|f| f.norm()).fold(0.0f32, f32::max);
+        let diff = max_force_diff(&out.forces, &f_ref);
+        assert!(diff / fmax < 1e-3, "{cfg:?}: force diff {diff} (fmax {fmax})");
+    }
+
+    #[test]
+    fn pkg_matches_reference() {
+        check_against_reference(RmaConfig::PKG);
+    }
+
+    #[test]
+    fn cache_matches_reference() {
+        check_against_reference(RmaConfig::CACHE);
+    }
+
+    #[test]
+    fn vec_matches_reference() {
+        check_against_reference(RmaConfig::VEC);
+    }
+
+    #[test]
+    fn mark_matches_reference() {
+        check_against_reference(RmaConfig::MARK);
+    }
+
+    #[test]
+    fn ladder_is_monotone() {
+        let (_, psys, cpe, params) = setup(800, 5);
+        let cg = CoreGroup::new();
+        let t = |cfg| run_rma(&psys, &cpe, &params, &cg, cfg).total.cycles;
+        let pkg = t(RmaConfig::PKG);
+        let cache = t(RmaConfig::CACHE);
+        let vec = t(RmaConfig::VEC);
+        let mark = t(RmaConfig::MARK);
+        assert!(pkg > cache, "Pkg {pkg} vs Cache {cache}");
+        assert!(cache > vec, "Cache {cache} vs Vec {vec}");
+        assert!(vec > mark, "Vec {vec} vs Mark {mark}");
+    }
+
+    #[test]
+    fn mark_skips_init_phase() {
+        let (_, psys, cpe, params) = setup(800, 9);
+        let cg = CoreGroup::new();
+        let with = run_rma(&psys, &cpe, &params, &cg, RmaConfig::MARK);
+        let without = run_rma(&psys, &cpe, &params, &cg, RmaConfig::VEC);
+        assert_eq!(with.phases.cycles("init"), 0);
+        assert!(without.phases.cycles("init") > 0);
+        assert!(with.phases.cycles("reduce") < without.phases.cycles("reduce"));
+    }
+
+    #[test]
+    fn read_cache_hit_ratio_is_high() {
+        // §4.2: "the cache-miss rate in both write cache and read cache
+        // are under 15%".
+        let (_, psys, cpe, params) = setup(800, 13);
+        let cg = CoreGroup::new();
+        let out = run_rma(&psys, &cpe, &params, &cg, RmaConfig::MARK);
+        assert!(out.read_miss_ratio < 0.15, "read miss {}", out.read_miss_ratio);
+        assert!(out.write_miss_ratio < 0.15, "write miss {}", out.write_miss_ratio);
+    }
+
+    #[test]
+    fn reduction_with_marks_equals_reduction_without() {
+        let (_, psys, cpe, params) = setup(800, 15);
+        let cg = CoreGroup::new();
+        let a = run_rma(&psys, &cpe, &params, &cg, RmaConfig::VEC);
+        let b = run_rma(&psys, &cpe, &params, &cg, RmaConfig::MARK);
+        let diff = max_force_diff(&a.forces, &b.forces);
+        assert!(diff < 1e-6, "forces differ by {diff}");
+    }
+}

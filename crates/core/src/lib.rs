@@ -1,0 +1,54 @@
+//! # swgmx — the SW_GROMACS core: Sunway-optimized MD kernels
+//!
+//! ```
+//! use mdsim::nonbonded::NbParams;
+//! use mdsim::pairlist::{ListKind, PairList};
+//! use sw26010::CoreGroup;
+//! use swgmx::{run_rma, CpePairList, PackageLayout, PackedSystem, RmaConfig};
+//!
+//! // A small water box, packaged for the simulated SW26010.
+//! let sys = mdsim::water::water_box(200, 300.0, 1);
+//! let params = NbParams { r_cut: 0.6, ..NbParams::paper_default() };
+//! let list = PairList::build(&sys, 0.6, ListKind::Half);
+//! let psys = PackedSystem::build(&sys, list.clustering.clone(), PackageLayout::Transposed);
+//! let cpelist = CpePairList::build(&sys, &list);
+//!
+//! // Run the paper's fully optimized kernel; costs are simulated cycles.
+//! let out = run_rma(&psys, &cpelist, &params, &CoreGroup::new(), RmaConfig::MARK);
+//! assert!(out.energies.pairs_within_cutoff > 0);
+//! assert!(out.total.cycles > 0);
+//! assert!(out.read_miss_ratio < 0.5);
+//! ```
+//!
+//! This crate is the paper's contribution, rebuilt on the simulated
+//! SW26010 (`sw26010` crate) over the MD substrate (`mdsim` crate):
+//!
+//! - [`package`] — particle packages, both layouts (§3.1 Fig. 2, §3.4
+//!   Fig. 6)
+//! - [`cpelist`] — the kernel-ready pair list: masks + shift vectors
+//! - [`kernels`] — the force-kernel ladder (Ori/Pkg/Cache/Vec/Mark) and
+//!   the RCA and USTC baselines (§3.1–3.4, Fig. 8/9)
+//! - [`pairgen`] — CPE-parallel pair-list generation with the two-way
+//!   associative cache (§3.5)
+//! - [`engine`] — the full MD step on the simulated hardware with
+//!   per-kernel timing (Table 1, Fig. 10) and the multi-CG step model
+//!   (Fig. 12)
+//! - [`fastio`] — buffered trajectory output with the custom float
+//!   formatter (§3.7)
+//! - [`platforms`] — the Table 4 / Eq. 3-4 TTF cross-platform model
+//!   (Fig. 11)
+
+pub mod cpelist;
+pub mod engine;
+pub mod fastio;
+pub mod kernels;
+pub mod ldm_budget;
+pub mod mdp;
+pub mod package;
+pub mod pairgen;
+pub mod platforms;
+pub mod portable;
+
+pub use cpelist::CpePairList;
+pub use kernels::{run_ori, run_rca, run_rma, run_ustc, KernelResult, RmaConfig};
+pub use package::{PackageLayout, PackedSystem};

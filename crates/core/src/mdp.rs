@@ -1,0 +1,214 @@
+//! A GROMACS-flavoured `.mdp` run-parameter parser.
+//!
+//! The paper's artifact drives GROMACS with an `.mdp`-configured water
+//! case (Table 3); downstream users expect the same interface, so the
+//! CLI accepts a subset of the real format: `key = value` lines, `;`
+//! comments, case/dash-insensitive keys. Unknown keys are collected as
+//! warnings rather than errors (as `gmx grompp` notes them).
+
+use std::collections::BTreeMap;
+
+use mdsim::nonbonded::Coulomb;
+
+use crate::engine::{EngineConfig, Version};
+
+/// Parsed run parameters.
+#[derive(Debug, Clone)]
+pub struct MdpOptions {
+    /// Steps to run (`nsteps`).
+    pub nsteps: usize,
+    /// Engine configuration assembled from the recognized keys.
+    pub config: EngineConfig,
+    /// Keys that were not recognized (reported, not fatal).
+    pub unknown: Vec<String>,
+}
+
+/// Parse `.mdp` text into run options, starting from the paper defaults.
+pub fn parse_mdp(text: &str) -> Result<MdpOptions, String> {
+    let mut map = BTreeMap::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected `key = value`, got `{line}`", ln + 1))?;
+        // GROMACS treats `-` and `_` in keys interchangeably.
+        let key = key.trim().to_ascii_lowercase().replace('-', "_");
+        map.insert(key, value.trim().to_string());
+    }
+
+    let mut config = EngineConfig::paper(Version::Other);
+    let mut nsteps = 1000usize;
+    let mut unknown = Vec::new();
+    let parse_f32 = |k: &str, v: &str| -> Result<f32, String> {
+        v.parse().map_err(|_| format!("{k}: bad number `{v}`"))
+    };
+    for (key, value) in &map {
+        match key.as_str() {
+            "nsteps" => {
+                nsteps = value
+                    .parse()
+                    .map_err(|_| format!("nsteps: bad integer `{value}`"))?
+            }
+            "dt" => config.dt = parse_f32("dt", value)?,
+            "nstlist" => {
+                config.nstlist = value
+                    .parse()
+                    .map_err(|_| format!("nstlist: bad integer `{value}`"))?
+            }
+            "nstxout" => {
+                config.nstxout = value
+                    .parse()
+                    .map_err(|_| format!("nstxout: bad integer `{value}`"))?
+            }
+            "rlist" => config.rlist = parse_f32("rlist", value)?,
+            "rcoulomb" | "rvdw" => {
+                config.params.r_cut = parse_f32(key, value)?;
+            }
+            "coulombtype" => {
+                config.params.coulomb = match value.to_ascii_lowercase().as_str() {
+                    "pme" => Coulomb::EwaldShort { beta: 3.12 },
+                    "cut-off" | "cutoff" => Coulomb::Cutoff,
+                    "reaction-field" | "reaction_field" => {
+                        Coulomb::ReactionField { eps_rf: 78.0 }
+                    }
+                    other => return Err(format!("coulombtype: unsupported `{other}`")),
+                }
+            }
+            "fourier_spacing" => {
+                // Translate a spacing into a grid hint later; store as
+                // the nearest power-of-two grid for a typical box.
+                let spacing = parse_f32("fourier_spacing", value)?;
+                if spacing <= 0.0 {
+                    return Err("fourier_spacing must be positive".into());
+                }
+            }
+            "fourier_nx" | "fourier_ny" | "fourier_nz" => {
+                config.pme_grid = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("{key}: bad integer `{value}`"))?,
+                );
+            }
+            "ref_t" => {
+                config.t_ref = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("ref_t: bad number `{value}`"))?,
+                )
+            }
+            "tcoupl" => {
+                if value.eq_ignore_ascii_case("no") {
+                    config.t_ref = None;
+                }
+            }
+            "constraints" => {
+                config.constraints = !value.eq_ignore_ascii_case("none");
+            }
+            "cutoff_scheme" | "ns_type" | "integrator" | "pbc" => {
+                // Accepted for compatibility; our engine has one scheme.
+            }
+            _ => unknown.push(key.clone()),
+        }
+    }
+    if config.params.r_cut > config.rlist {
+        config.rlist = config.params.r_cut;
+    }
+    Ok(MdpOptions {
+        nsteps,
+        config,
+        unknown,
+    })
+}
+
+/// The paper's Table 3 benchmark parameters as `.mdp` text.
+pub const PAPER_MDP: &str = "\
+; SW_GROMACS water benchmark (paper Table 3)
+integrator     = md
+nsteps         = 1000
+dt             = 0.002
+cutoff-scheme  = verlet
+ns-type        = grid
+nstlist        = 10
+rlist          = 1.0
+coulombtype    = PME
+rcoulomb       = 1.0
+rvdw           = 1.0
+tcoupl         = berendsen
+ref-t          = 300
+constraints    = h-bonds
+nstxout        = 100
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mdp_parses_to_table3_settings() {
+        let opts = parse_mdp(PAPER_MDP).unwrap();
+        assert_eq!(opts.nsteps, 1000);
+        assert_eq!(opts.config.nstlist, 10);
+        assert_eq!(opts.config.rlist, 1.0);
+        assert_eq!(opts.config.params.r_cut, 1.0);
+        assert!(matches!(
+            opts.config.params.coulomb,
+            Coulomb::EwaldShort { .. }
+        ));
+        assert_eq!(opts.config.t_ref, Some(300.0));
+        assert!(opts.config.constraints);
+        assert_eq!(opts.config.nstxout, 100);
+        assert!(opts.unknown.is_empty(), "{:?}", opts.unknown);
+    }
+
+    #[test]
+    fn comments_dashes_and_case_are_tolerated() {
+        let opts = parse_mdp(
+            "NSTEPS = 42 ; trailing comment\n\
+             ; full-line comment\n\
+             Ref-T = 310.5\n\
+             COULOMBTYPE = reaction-field\n",
+        )
+        .unwrap();
+        assert_eq!(opts.nsteps, 42);
+        assert_eq!(opts.config.t_ref, Some(310.5));
+        assert!(matches!(
+            opts.config.params.coulomb,
+            Coulomb::ReactionField { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_keys_are_collected_not_fatal() {
+        let opts = parse_mdp("nsteps = 5\nemtol = 10\ngen-vel = yes\n").unwrap();
+        assert_eq!(opts.nsteps, 5);
+        assert_eq!(opts.unknown, vec!["emtol", "gen_vel"]);
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(parse_mdp("this is not a key value line\n").is_err());
+        assert!(parse_mdp("dt = banana\n").is_err());
+        assert!(parse_mdp("coulombtype = magic\n").is_err());
+    }
+
+    #[test]
+    fn constraints_none_disables_shake() {
+        let opts = parse_mdp("constraints = none\n").unwrap();
+        assert!(!opts.config.constraints);
+    }
+
+    #[test]
+    fn rcut_larger_than_rlist_bumps_rlist() {
+        let opts = parse_mdp("rlist = 0.9\nrcoulomb = 1.1\n").unwrap();
+        assert_eq!(opts.config.rlist, 1.1);
+    }
+
+    #[test]
+    fn pme_grid_from_fourier_keys() {
+        let opts = parse_mdp("fourier-nx = 64\n").unwrap();
+        assert_eq!(opts.config.pme_grid, Some(64));
+    }
+}

@@ -1,0 +1,342 @@
+//! Bonded interactions: harmonic bonds (2-body) and angles (3-body).
+//!
+//! The paper's workloads are rigid water (bonds/angles replaced by SETTLE
+//! constraints), but GROMACS computes bonded terms for flexible runs and
+//! the engine supports both; these are the "Bound" interactions of Fig. 1.
+
+use crate::system::System;
+
+/// Bonded energy terms.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BondedEnergies {
+    /// Harmonic bond energy, kJ/mol.
+    pub bond: f64,
+    /// Harmonic angle energy, kJ/mol.
+    pub angle: f64,
+    /// Periodic dihedral energy, kJ/mol.
+    pub dihedral: f64,
+}
+
+impl BondedEnergies {
+    /// Total bonded energy.
+    pub fn total(&self) -> f64 {
+        self.bond + self.angle + self.dihedral
+    }
+}
+
+/// Compute all bonded forces of the system (expanded from the topology's
+/// molecule blocks) and accumulate into `sys.force`.
+pub fn compute_bonded(sys: &mut System) -> BondedEnergies {
+    let mut en = BondedEnergies::default();
+    let topology = sys.topology.clone();
+    let mut base = 0usize;
+    for &(kind_idx, count) in &topology.blocks {
+        let kind = &topology.kinds[kind_idx];
+        for _ in 0..count {
+            for b in &kind.bonds {
+                en.bond += harmonic_bond(sys, base + b.i, base + b.j, b.r0, b.k);
+            }
+            for a in &kind.angles {
+                en.angle += harmonic_angle(
+                    sys,
+                    base + a.i,
+                    base + a.j,
+                    base + a.k,
+                    a.theta0,
+                    a.ktheta,
+                );
+            }
+            for d in &kind.dihedrals {
+                en.dihedral += periodic_dihedral(
+                    sys,
+                    base + d.i,
+                    base + d.j,
+                    base + d.k,
+                    base + d.l,
+                    d.mult,
+                    d.phi0,
+                    d.kphi,
+                );
+            }
+            base += kind.n_atoms();
+        }
+    }
+    en
+}
+
+/// Harmonic bond `V = k/2 (r - r0)^2` between global atoms `i` and `j`.
+/// Returns the energy; forces accumulate into the system.
+pub fn harmonic_bond(sys: &mut System, i: usize, j: usize, r0: f32, k: f32) -> f64 {
+    let d = sys.pbc.min_image(sys.pos[i], sys.pos[j]);
+    let r = d.norm();
+    if r == 0.0 {
+        return 0.0;
+    }
+    let dr = r - r0;
+    let f_over_r = -k * dr / r;
+    let f = d * f_over_r;
+    sys.force[i] += f;
+    sys.force[j] -= f;
+    0.5 * (k as f64) * (dr as f64) * (dr as f64)
+}
+
+/// Harmonic angle `V = k/2 (theta - theta0)^2` for atoms `i-j-k`
+/// (vertex `j`). Returns the energy; forces accumulate into the system.
+pub fn harmonic_angle(
+    sys: &mut System,
+    i: usize,
+    j: usize,
+    k: usize,
+    theta0: f32,
+    ktheta: f32,
+) -> f64 {
+    let rij = sys.pbc.min_image(sys.pos[i], sys.pos[j]);
+    let rkj = sys.pbc.min_image(sys.pos[k], sys.pos[j]);
+    let nij = rij.norm();
+    let nkj = rkj.norm();
+    if nij == 0.0 || nkj == 0.0 {
+        return 0.0;
+    }
+    let cos_t = (rij.dot(rkj) / (nij * nkj)).clamp(-1.0, 1.0);
+    let theta = cos_t.acos();
+    let dtheta = theta - theta0;
+    // dV/dtheta:
+    let dvdt = ktheta * dtheta;
+    let sin_t = (1.0 - cos_t * cos_t).sqrt().max(1e-6);
+    // Standard angle force decomposition.
+    let fi = (rkj / (nij * nkj) - rij * (cos_t / (nij * nij))) * (-dvdt / sin_t);
+    let fk = (rij / (nij * nkj) - rkj * (cos_t / (nkj * nkj))) * (-dvdt / sin_t);
+    sys.force[i] += fi;
+    sys.force[k] += fk;
+    sys.force[j] -= fi + fk;
+    0.5 * (ktheta as f64) * (dtheta as f64) * (dtheta as f64)
+}
+
+/// Periodic proper dihedral `V = k (1 + cos(n*phi - phi0))` for atoms
+/// `i-j-k-l` around the `j-k` axis (the paper's 4-body "Bound"
+/// interaction). Returns the energy; forces accumulate into the system.
+///
+/// Standard decomposition via the two plane normals; degenerate
+/// (collinear) configurations contribute nothing.
+#[allow(clippy::too_many_arguments)] // mirrors the GROMACS idihf signature
+pub fn periodic_dihedral(
+    sys: &mut System,
+    i: usize,
+    j: usize,
+    k: usize,
+    l: usize,
+    mult: u32,
+    phi0: f32,
+    kphi: f32,
+) -> f64 {
+    let b1 = sys.pbc.min_image(sys.pos[j], sys.pos[i]);
+    let b2 = sys.pbc.min_image(sys.pos[k], sys.pos[j]);
+    let b3 = sys.pbc.min_image(sys.pos[l], sys.pos[k]);
+    let n1 = b1.cross(b2); // normal of plane (i, j, k)
+    let n2 = b2.cross(b3); // normal of plane (j, k, l)
+    let n1sq = n1.norm2();
+    let n2sq = n2.norm2();
+    let b2len = b2.norm();
+    if n1sq < 1e-10 || n2sq < 1e-10 || b2len < 1e-6 {
+        return 0.0;
+    }
+    // Signed dihedral angle.
+    let m1 = n1.cross(b2 / b2len);
+    let x = n1.dot(n2);
+    let y = m1.dot(n2);
+    let phi = y.atan2(x);
+    let n = mult as f32;
+    let energy = kphi * (1.0 + (n * phi - phi0).cos());
+    // dV/dphi.
+    let dvdphi = -kphi * n * (n * phi - phi0).sin();
+    // Classic force distribution (Allen & Tildesley form).
+    let fi = n1 * (-dvdphi * b2len / n1sq);
+    let fl = n2 * (dvdphi * b2len / n2sq);
+    let p = b1.dot(b2) / (b2len * b2len);
+    let q = b3.dot(b2) / (b2len * b2len);
+    let fj = fi * (p - 1.0) - fl * q;
+    let fk = fl * (q - 1.0) - fi * p;
+    sys.force[i] += fi;
+    sys.force[j] += fj;
+    sys.force[k] += fk;
+    sys.force[l] += fl;
+    energy as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pbc::PbcBox;
+    use crate::topology::Topology;
+    use crate::vec3::vec3;
+
+    fn one_water_at(stretch: f32) -> System {
+        let top = Topology::spc_water(1);
+        let pos = vec![
+            vec3(1.0, 1.0, 1.0),
+            vec3(1.0 + stretch, 1.0, 1.0),
+            vec3(1.0, 1.0 + stretch, 1.0),
+        ];
+        System::from_topology(top, PbcBox::cubic(3.0), pos)
+    }
+
+    #[test]
+    fn bond_at_equilibrium_has_no_force() {
+        let mut s = one_water_at(0.1); // r0 = 0.1 nm
+        // f32 placement error of ~1e-8 nm against k = 3.45e5 leaves a
+        // sub-kJ/mol/nm residual force; anything below 1 is "zero" here.
+        let e = harmonic_bond(&mut s, 0, 1, 0.1, 345_000.0);
+        assert!(e.abs() < 1e-6);
+        assert!(s.force[0].norm() < 1.0);
+    }
+
+    #[test]
+    fn stretched_bond_pulls_atoms_together() {
+        let mut s = one_water_at(0.12);
+        harmonic_bond(&mut s, 0, 1, 0.1, 345_000.0);
+        // Atom 1 is at +x from atom 0; force on atom 1 must point -x.
+        assert!(s.force[1].x < 0.0);
+        assert!(s.force[0].x > 0.0);
+        let net = s.force[0] + s.force[1];
+        assert!(net.norm() < 1e-2);
+    }
+
+    #[test]
+    fn bond_energy_is_quadratic() {
+        let mut s1 = one_water_at(0.11);
+        let mut s2 = one_water_at(0.12);
+        let e1 = harmonic_bond(&mut s1, 0, 1, 0.1, 345_000.0);
+        let e2 = harmonic_bond(&mut s2, 0, 1, 0.1, 345_000.0);
+        assert!((e2 / e1 - 4.0).abs() < 0.01, "ratio {}", e2 / e1);
+    }
+
+    #[test]
+    fn angle_force_direction() {
+        // 90 degree angle with theta0 = 109.47: should open the angle.
+        let mut s = one_water_at(0.1);
+        let theta0 = 109.47f32.to_radians();
+        let e = harmonic_angle(&mut s, 1, 0, 2, theta0, 383.0);
+        assert!(e > 0.0);
+        // Net force and torque ~ 0.
+        let net = s.force[0] + s.force[1] + s.force[2];
+        assert!(net.norm() < 1e-3, "net {net:?}");
+    }
+
+    #[test]
+    fn angle_energy_gradient_check() {
+        let theta0 = 109.47f32.to_radians();
+        let energy = |dy: f32| {
+            let mut s = one_water_at(0.1);
+            s.pos[2].y += dy;
+            s.clear_forces();
+            harmonic_angle(&mut s, 1, 0, 2, theta0, 383.0)
+        };
+        let mut s = one_water_at(0.1);
+        harmonic_angle(&mut s, 1, 0, 2, theta0, 383.0);
+        let h = 1e-4f32;
+        let numeric = -((energy(h) - energy(-h)) / (2.0 * h as f64)) as f32;
+        assert!(
+            (s.force[2].y - numeric).abs() / numeric.abs().max(1.0) < 0.05,
+            "analytic {} numeric {}",
+            s.force[2].y,
+            numeric
+        );
+    }
+
+    fn butane_like(phi_deg: f32) -> System {
+        // Four atoms: i-j-k-l with the j-k bond along z and the dihedral
+        // angle set by rotating l around z.
+        let top = Topology::lj_fluid(4);
+        let phi = phi_deg.to_radians();
+        let pos = vec![
+            vec3(1.0, 0.0, 0.0),
+            vec3(0.0, 0.0, 0.0),
+            vec3(0.0, 0.0, 1.0),
+            vec3(phi.cos(), phi.sin(), 1.0),
+        ];
+        System::from_topology(top, PbcBox::cubic(10.0), pos)
+    }
+
+    #[test]
+    fn dihedral_energy_at_known_angles() {
+        // V = k (1 + cos(phi)) with n=1, phi0=0: max 2k at phi=0 (cis),
+        // zero at phi=180 (trans).
+        let k = 5.0f32;
+        let e_at = |deg: f32| {
+            let mut s = butane_like(deg);
+            periodic_dihedral(&mut s, 0, 1, 2, 3, 1, 0.0, k)
+        };
+        assert!((e_at(0.0) - 2.0 * k as f64).abs() < 1e-5);
+        assert!(e_at(180.0).abs() < 1e-5);
+        assert!((e_at(90.0) - k as f64).abs() < 1e-5);
+        // Symmetric in the sign of phi.
+        assert!((e_at(60.0) - e_at(-60.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dihedral_forces_are_gradient_and_conserve() {
+        let k = 12.0f32;
+        let mut s = butane_like(55.0);
+        periodic_dihedral(&mut s, 0, 1, 2, 3, 3, 0.4, k);
+        // Net force zero (translation invariance).
+        let net = s.force.iter().fold(crate::vec3::Vec3::ZERO, |a, f| a + *f);
+        assert!(net.norm() < 1e-4, "net {net:?}");
+        // Net torque about the origin zero (rotation invariance).
+        let torque = s
+            .pos
+            .iter()
+            .zip(&s.force)
+            .fold(crate::vec3::Vec3::ZERO, |a, (p, f)| a + p.cross(*f));
+        assert!(torque.norm() < 1e-3, "torque {torque:?}");
+        // Central-difference check on atom 3's x component.
+        let e_at = |dx: f32| {
+            let mut t = butane_like(55.0);
+            t.pos[3].x += dx;
+            t.clear_forces();
+            periodic_dihedral(&mut t, 0, 1, 2, 3, 3, 0.4, k)
+        };
+        let h = 1e-4f32;
+        let numeric = -((e_at(h) - e_at(-h)) / (2.0 * h as f64)) as f32;
+        assert!(
+            (s.force[3].x - numeric).abs() < 0.05 * numeric.abs().max(1.0),
+            "analytic {} numeric {}",
+            s.force[3].x,
+            numeric
+        );
+    }
+
+    #[test]
+    fn dihedral_degenerate_configurations_are_safe() {
+        // Collinear i-j-k: the dihedral is undefined; must return 0
+        // without NaNs.
+        let top = Topology::lj_fluid(4);
+        let pos = vec![
+            vec3(0.0, 0.0, 0.0),
+            vec3(0.0, 0.0, 1.0),
+            vec3(0.0, 0.0, 2.0),
+            vec3(1.0, 0.0, 3.0),
+        ];
+        let mut s = System::from_topology(top, PbcBox::cubic(10.0), pos);
+        let e = periodic_dihedral(&mut s, 0, 1, 2, 3, 2, 0.0, 4.0);
+        assert_eq!(e, 0.0);
+        assert!(s.force.iter().all(|f| f.norm().is_finite()));
+    }
+
+    #[test]
+    fn compute_bonded_covers_all_molecules() {
+        let top = Topology::spc_water(3);
+        let mut pos = Vec::new();
+        for m in 0..3 {
+            let o = vec3(1.0 + m as f32, 1.0, 1.0);
+            pos.push(o);
+            pos.push(o + vec3(0.12, 0.0, 0.0)); // stretched
+            pos.push(o + vec3(0.0, 0.1, 0.0));
+        }
+        let mut s = System::from_topology(top, PbcBox::cubic(6.0), pos);
+        let en = compute_bonded(&mut s);
+        assert!(en.bond > 0.0);
+        // All three molecules contribute equally.
+        let per_mol = en.bond / 3.0;
+        assert!((per_mol * 3.0 - en.bond).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,214 @@
+//! Leapfrog integrator and Berendsen thermostat — the "Update
+//! configuration" stage of the MD workflow (paper Fig. 1, Table 1 rows
+//! "Update" and "Constraints").
+
+use crate::constraints::ConstraintSet;
+use crate::system::System;
+use crate::vec3::Vec3;
+
+/// One leapfrog step without constraints:
+/// `v(t+dt/2) = v(t-dt/2) + a(t) dt`, `x(t+dt) = x(t) + v(t+dt/2) dt`.
+pub fn leapfrog_step(sys: &mut System, dt: f32) {
+    for i in 0..sys.n() {
+        let a = sys.force[i] / sys.mass[i];
+        sys.vel[i] += a * dt;
+        sys.pos[i] += sys.vel[i] * dt;
+    }
+}
+
+/// One constrained leapfrog step: unconstrained update followed by SHAKE
+/// position correction against the pre-step positions.
+///
+/// Returns `false` if the constraint solver failed to converge.
+pub fn leapfrog_step_constrained(sys: &mut System, dt: f32, constraints: &ConstraintSet) -> bool {
+    let old_pos = sys.pos.clone();
+    leapfrog_step(sys, dt);
+    constraints.apply(sys, &old_pos, dt).is_some()
+}
+
+/// Velocity-Verlet integration, split into its two half-kick stages so a
+/// force evaluation can sit between them:
+/// `v += a dt/2; x += v dt` — then compute forces — then `v += a dt/2`.
+///
+/// First stage: half-kick with the *current* forces, then drift.
+pub fn velocity_verlet_stage1(sys: &mut System, dt: f32) {
+    for i in 0..sys.n() {
+        let a = sys.force[i] / sys.mass[i];
+        sys.vel[i] += a * (0.5 * dt);
+        sys.pos[i] += sys.vel[i] * dt;
+    }
+}
+
+/// Second stage: half-kick with the *new* forces.
+pub fn velocity_verlet_stage2(sys: &mut System, dt: f32) {
+    for i in 0..sys.n() {
+        let a = sys.force[i] / sys.mass[i];
+        sys.vel[i] += a * (0.5 * dt);
+    }
+}
+
+/// Berendsen weak-coupling thermostat: rescale velocities toward `t_ref`
+/// with time constant `tau` (ps). `t_now` is the current instantaneous
+/// temperature; no-op when it is zero.
+pub fn berendsen_scale(sys: &mut System, dt: f32, tau: f32, t_ref: f64, t_now: f64) {
+    if t_now <= 0.0 {
+        return;
+    }
+    let lambda = (1.0 + (dt / tau) as f64 * (t_ref / t_now - 1.0)).sqrt() as f32;
+    for v in &mut sys.vel {
+        *v = *v * lambda;
+    }
+}
+
+/// Wrap all positions back into the primary box image.
+pub fn wrap_positions(sys: &mut System) {
+    for p in &mut sys.pos {
+        *p = sys.pbc.wrap(*p);
+    }
+}
+
+/// Maximum displacement of any particle relative to `reference`; used to
+/// decide when the pair list must be rebuilt before `nstlist` expires.
+pub fn max_displacement(sys: &System, reference: &[Vec3]) -> f32 {
+    sys.pos
+        .iter()
+        .zip(reference)
+        .map(|(p, r)| sys.pbc.min_image(*p, *r).norm())
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pbc::PbcBox;
+    use crate::topology::Topology;
+    use crate::vec3::vec3;
+    use crate::water::{theta_hoh, water_box, D_OH};
+
+    #[test]
+    fn free_particle_moves_linearly() {
+        let top = Topology::lj_fluid(1);
+        let mut s = System::from_topology(top, PbcBox::cubic(10.0), vec![vec3(5.0, 5.0, 5.0)]);
+        s.vel[0] = vec3(1.0, 0.0, 0.0);
+        for _ in 0..100 {
+            leapfrog_step(&mut s, 0.01);
+        }
+        assert!((s.pos[0].x - 6.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn constant_force_gives_quadratic_trajectory() {
+        let top = Topology::lj_fluid(1);
+        let mut s = System::from_topology(top, PbcBox::cubic(100.0), vec![vec3(5.0, 5.0, 5.0)]);
+        let mass = s.mass[0];
+        let f = 10.0f32;
+        let dt = 0.001f32;
+        let steps = 1000;
+        for _ in 0..steps {
+            s.force[0] = vec3(f, 0.0, 0.0);
+            leapfrog_step(&mut s, dt);
+        }
+        let t = steps as f32 * dt;
+        // Leapfrog with v(-dt/2)=0 gives x = 0.5 a t^2 + O(dt) offset.
+        let expect = 5.0 + 0.5 * (f / mass) * t * t;
+        assert!(
+            (s.pos[0].x - expect).abs() / expect < 0.01,
+            "{} vs {}",
+            s.pos[0].x,
+            expect
+        );
+    }
+
+    #[test]
+    fn constrained_step_keeps_water_rigid() {
+        let mut s = water_box(10, 300.0, 9);
+        let cs = ConstraintSet::rigid_water(&s, D_OH, theta_hoh());
+        for _ in 0..20 {
+            s.clear_forces();
+            assert!(leapfrog_step_constrained(&mut s, 0.002, &cs));
+        }
+        assert!(cs.max_violation(&s) < 1e-2, "{}", cs.max_violation(&s));
+    }
+
+    #[test]
+    fn velocity_verlet_matches_leapfrog_on_constant_force() {
+        // Under a constant force both schemes produce the same positions
+        // (velocities are offset by half a step in leapfrog).
+        let top = Topology::lj_fluid(1);
+        let mk = || {
+            System::from_topology(top.clone(), PbcBox::cubic(100.0), vec![vec3(5.0, 5.0, 5.0)])
+        };
+        let dt = 0.002f32;
+        let f = vec3(7.0, -3.0, 1.0);
+        let mut vv = mk();
+        for _ in 0..200 {
+            vv.force[0] = f;
+            velocity_verlet_stage1(&mut vv, dt);
+            vv.force[0] = f;
+            velocity_verlet_stage2(&mut vv, dt);
+        }
+        // Analytic: x = 0.5 a t^2.
+        let t = 200.0 * dt;
+        let a = f / vv.mass[0];
+        let expect = vec3(5.0, 5.0, 5.0) + a * (0.5 * t * t);
+        assert!((vv.pos[0] - expect).norm() < 1e-3, "{:?} vs {expect:?}", vv.pos[0]);
+    }
+
+    #[test]
+    fn velocity_verlet_conserves_energy_in_harmonic_well() {
+        // A single particle on a spring: VV is symplectic, energy drift
+        // over many periods stays tiny.
+        let top = Topology::lj_fluid(1);
+        let mut s =
+            System::from_topology(top, PbcBox::cubic(100.0), vec![vec3(51.0, 50.0, 50.0)]);
+        let k = 1000.0f32;
+        let center = vec3(50.0, 50.0, 50.0);
+        let dt = 0.001f32;
+        let energy = |s: &System| {
+            let x = s.pos[0] - center;
+            0.5 * k as f64 * x.norm2() as f64 + s.kinetic_energy()
+        };
+        let spring = |s: &mut System| {
+            let x = s.pos[0] - center;
+            s.force[0] = -x * k;
+        };
+        spring(&mut s);
+        let e0 = energy(&s);
+        for _ in 0..5000 {
+            velocity_verlet_stage1(&mut s, dt);
+            spring(&mut s);
+            velocity_verlet_stage2(&mut s, dt);
+        }
+        let e1 = energy(&s);
+        assert!(
+            (e1 - e0).abs() / e0.abs() < 1e-3,
+            "energy drift {e0} -> {e1}"
+        );
+    }
+
+    #[test]
+    fn berendsen_moves_temperature_toward_target() {
+        let mut s = water_box(50, 600.0, 10);
+        let dof = s.dof_unconstrained();
+        let t0 = s.temperature(dof);
+        for _ in 0..200 {
+            let t = s.temperature(dof);
+            berendsen_scale(&mut s, 0.002, 0.1, 300.0, t);
+        }
+        let t1 = s.temperature(dof);
+        assert!((t1 - 300.0).abs() < (t0 - 300.0).abs() * 0.1, "T {t0} -> {t1}");
+    }
+
+    #[test]
+    fn max_displacement_tracks_motion() {
+        let top = Topology::lj_fluid(2);
+        let mut s = System::from_topology(
+            top,
+            PbcBox::cubic(10.0),
+            vec![vec3(1.0, 1.0, 1.0), vec3(2.0, 2.0, 2.0)],
+        );
+        let reference = s.pos.clone();
+        s.pos[1].x += 0.5;
+        assert!((max_displacement(&s, &reference) - 0.5).abs() < 1e-6);
+    }
+}

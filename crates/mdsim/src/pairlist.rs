@@ -1,0 +1,294 @@
+//! Cluster pair lists (Verlet lists with an `rlist` buffer).
+//!
+//! The pair list holds cluster pairs whose members may be within
+//! `r_cut`; it is built with radius `rlist > r_cut` and regenerated every
+//! `nstlist` steps (paper §2.1, Table 3: `nstlist = 10`, `rlist = 1.0`).
+//! Layout is CSR — per outer cluster a contiguous run of inner clusters —
+//! which is also the structure the CPE pair-list generation of §3.5
+//! produces ("for every particle, it keeps the start and the end index of
+//! its neighbors").
+//!
+//! Two variants, matching the paper's two algorithms:
+//! - **half** (Algorithm 1): each unordered cluster pair appears once;
+//!   the kernel updates both particles (Newton's third law), which is
+//!   what creates the write-conflict problem the paper solves;
+//! - **full** (Algorithm 2, the RCA baseline): each pair appears in both
+//!   directions; the kernel only updates the outer particle, doubling
+//!   compute but avoiding conflicts.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::{Clustering, CLUSTER_SIZE, FILLER};
+use crate::grid::CellGrid;
+use crate::pbc::PbcBox;
+use crate::system::System;
+use crate::vec3::Vec3;
+
+/// Which pair-list convention to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ListKind {
+    /// Each unordered pair once (`cj >= ci`).
+    Half,
+    /// Each pair in both directions.
+    Full,
+}
+
+/// A CSR cluster pair list over a [`Clustering`].
+#[derive(Debug, Clone)]
+pub struct PairList {
+    /// The clustering this list indexes into.
+    pub clustering: Clustering,
+    /// CSR row offsets: neighbors of cluster `ci` are
+    /// `neighbors[offsets[ci]..offsets[ci+1]]`.
+    pub offsets: Vec<u32>,
+    /// Flattened inner-cluster indices.
+    pub neighbors: Vec<u32>,
+    /// List radius used at build time.
+    pub rlist: f32,
+    /// Convention.
+    pub kind: ListKind,
+}
+
+impl PairList {
+    /// Build a cluster pair list with radius `rlist` over `sys`.
+    pub fn build(sys: &System, rlist: f32, kind: ListKind) -> Self {
+        let clustering = Clustering::build(&sys.pbc, &sys.pos, rlist.max(0.3));
+        Self::build_with_clustering(&sys.pbc, &sys.pos, clustering, rlist, kind)
+    }
+
+    /// Build over an existing clustering (used when the caller controls
+    /// particle ordering).
+    ///
+    /// Candidates come from a coarse center-distance test
+    /// (`d <= rlist + r_i + r_j`) over a cell grid, then are pruned with
+    /// the exact member-pair criterion of [`clusters_in_range`] — the
+    /// same two-stage search GROMACS performs, without which the list
+    /// carries several times more cluster pairs than the kernel needs.
+    pub fn build_with_clustering(
+        pbc: &PbcBox,
+        pos: &[Vec3],
+        clustering: Clustering,
+        rlist: f32,
+        kind: ListKind,
+    ) -> Self {
+        let nc = clustering.n_clusters;
+        let centers: Vec<Vec3> = (0..nc).map(|c| clustering.center(pbc, pos, c)).collect();
+        let radii: Vec<f32> = (0..nc)
+            .map(|c| clustering.radius(pbc, pos, c, centers[c]))
+            .collect();
+        let max_radius = radii.iter().cloned().fold(0.0f32, f32::max);
+        let reach_max = rlist + 2.0 * max_radius;
+        // Fine grid + ranged search: candidate volume tracks the search
+        // sphere instead of 27 coarse cells.
+        let grid = CellGrid::build(pbc, &centers, (reach_max / 2.0).max(0.4));
+
+        let mut offsets = Vec::with_capacity(nc + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0u32);
+        let mut scratch: Vec<u32> = Vec::new();
+        for ci in 0..nc {
+            scratch.clear();
+            grid.for_range(pbc, centers[ci], reach_max, |cj| {
+                let cj = cj as usize;
+                if kind == ListKind::Half && cj < ci {
+                    return;
+                }
+                let reach = rlist + radii[ci] + radii[cj];
+                if pbc.dist2(centers[ci], centers[cj]) <= reach * reach
+                    && clusters_in_range(pbc, pos, &clustering, ci, cj, rlist)
+                {
+                    scratch.push(cj as u32);
+                }
+            });
+            scratch.sort_unstable();
+            neighbors.extend_from_slice(&scratch);
+            offsets.push(neighbors.len() as u32);
+        }
+        Self {
+            clustering,
+            offsets,
+            neighbors,
+            rlist,
+            kind,
+        }
+    }
+
+    /// Number of outer clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.clustering.n_clusters
+    }
+
+    /// Inner clusters of outer cluster `ci`.
+    #[inline]
+    pub fn neighbors_of(&self, ci: usize) -> &[u32] {
+        let lo = self.offsets[ci] as usize;
+        let hi = self.offsets[ci + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Total number of cluster pairs stored.
+    pub fn n_pairs(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// All particle-level pairs `(i, j)` with `i < j` implied by this
+    /// list, *before* any distance or exclusion filtering. Used by tests
+    /// to verify completeness against brute force.
+    pub fn implied_particle_pairs(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for ci in 0..self.n_clusters() {
+            for &cj in self.neighbors_of(ci) {
+                let mi = self.clustering.members(ci);
+                let mj = self.clustering.members(cj as usize);
+                for &a in mi {
+                    if a == FILLER {
+                        continue;
+                    }
+                    for &b in mj {
+                        if b == FILLER || a == b {
+                            continue;
+                        }
+                        out.push((a.min(b), a.max(b)));
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Check whether every particle pair within `r_cut` is covered by the
+    /// list. Returns the first missing pair if any.
+    pub fn verify_coverage(&self, sys: &System, r_cut: f32) -> Option<(usize, usize)> {
+        let covered = self.implied_particle_pairs();
+        let n = sys.n();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if sys.pbc.dist2(sys.pos[i], sys.pos[j]) <= r_cut * r_cut
+                    && covered.binary_search(&(i as u32, j as u32)).is_err()
+                {
+                    return Some((i, j));
+                }
+            }
+        }
+        None
+    }
+
+    /// Approximate memory footprint of the list in bytes.
+    pub fn bytes(&self) -> usize {
+        self.neighbors.len() * 4 + self.offsets.len() * 4 + self.clustering.slots.len() * 4
+    }
+}
+
+/// Exact cluster-pair inclusion test: true iff any member pair of the
+/// two clusters is within `rlist` (minimum image). Shared between the
+/// host list builder and the simulated CPE generation so both produce
+/// identical lists.
+pub fn clusters_in_range(
+    pbc: &PbcBox,
+    pos: &[Vec3],
+    clustering: &Clustering,
+    ci: usize,
+    cj: usize,
+    rlist: f32,
+) -> bool {
+    let r2 = rlist * rlist;
+    for &a in clustering.members(ci) {
+        if a == FILLER {
+            continue;
+        }
+        let pa = pos[a as usize];
+        for &b in clustering.members(cj) {
+            if b == FILLER {
+                continue;
+            }
+            if pbc.dist2(pa, pos[b as usize]) <= r2 {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Average neighbors per cluster; a load-balance indicator.
+pub fn mean_neighbors(list: &PairList) -> f64 {
+    if list.n_clusters() == 0 {
+        return 0.0;
+    }
+    list.n_pairs() as f64 / list.n_clusters() as f64
+}
+
+/// Check that `CLUSTER_SIZE` matches the paper's particle-package width.
+pub const _ASSERT_CLUSTER4: () = assert!(CLUSTER_SIZE == 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::water::water_box;
+
+    #[test]
+    fn half_list_covers_all_pairs_within_cutoff() {
+        let sys = water_box(60, 300.0, 11);
+        let list = PairList::build(&sys, 1.0, ListKind::Half);
+        assert_eq!(list.verify_coverage(&sys, 1.0), None);
+    }
+
+    #[test]
+    fn full_list_covers_and_doubles() {
+        let sys = water_box(40, 300.0, 5);
+        let half = PairList::build(&sys, 0.9, ListKind::Half);
+        let full = PairList::build(&sys, 0.9, ListKind::Full);
+        assert_eq!(full.verify_coverage(&sys, 0.9), None);
+        // Full stores each off-diagonal pair twice and each self pair once:
+        // |full| = 2|half| - n_self, so strictly between |half| and 2|half|.
+        assert!(full.n_pairs() > half.n_pairs());
+        assert!(full.n_pairs() <= 2 * half.n_pairs());
+        let n_self = half.n_clusters();
+        assert_eq!(full.n_pairs(), 2 * half.n_pairs() - n_self);
+    }
+
+    #[test]
+    fn half_list_has_no_reverse_duplicates() {
+        let sys = water_box(30, 300.0, 8);
+        let list = PairList::build(&sys, 1.0, ListKind::Half);
+        for ci in 0..list.n_clusters() {
+            for &cj in list.neighbors_of(ci) {
+                assert!(cj as usize >= ci, "half list contains reverse pair");
+            }
+        }
+    }
+
+    #[test]
+    fn self_pair_present() {
+        let sys = water_box(30, 300.0, 8);
+        let list = PairList::build(&sys, 1.0, ListKind::Half);
+        for ci in 0..list.n_clusters() {
+            assert!(
+                list.neighbors_of(ci).contains(&(ci as u32)),
+                "cluster {ci} missing self pair"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_rlist_means_more_pairs() {
+        // Box must be large relative to both radii for the comparison to
+        // be meaningful (300 molecules -> ~2.1 nm edge).
+        let sys = water_box(300, 300.0, 3);
+        let small = PairList::build(&sys, 0.7, ListKind::Half);
+        let large = PairList::build(&sys, 1.0, ListKind::Half);
+        assert!(large.n_pairs() > small.n_pairs());
+    }
+
+    #[test]
+    fn neighbor_count_scales_with_density_not_system_size() {
+        // Mean neighbors per cluster should be roughly constant across
+        // system sizes at fixed density (locality of the Verlet list);
+        // systems must be well above the cutoff for this to hold.
+        let a = PairList::build(&water_box(400, 300.0, 1), 0.9, ListKind::Half);
+        let b = PairList::build(&water_box(1600, 300.0, 1), 0.9, ListKind::Half);
+        let (ma, mb) = (mean_neighbors(&a), mean_neighbors(&b));
+        assert!((ma - mb).abs() / mb < 0.5, "ma={ma:.1} mb={mb:.1}");
+    }
+}

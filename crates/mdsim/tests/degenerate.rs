@@ -1,0 +1,116 @@
+//! Degenerate-input robustness: empty and near-empty systems, single
+//! particles, and boxes at the minimum size must not panic anywhere in
+//! the pipeline.
+
+use mdsim::cluster::Clustering;
+use mdsim::grid::CellGrid;
+use mdsim::nonbonded::{compute_forces_brute, compute_forces_half, Coulomb, NbParams};
+use mdsim::pairlist::{ListKind, PairList};
+use mdsim::pbc::PbcBox;
+use mdsim::system::System;
+use mdsim::topology::Topology;
+use mdsim::vec3::vec3;
+
+fn params() -> NbParams {
+    NbParams {
+        r_cut: 0.4,
+        coulomb: Coulomb::None,
+    }
+}
+
+#[test]
+fn empty_system_is_fine_everywhere() {
+    let top = Topology::lj_fluid(0);
+    let mut sys = System::from_topology(top, PbcBox::cubic(2.0), vec![]);
+    assert_eq!(sys.n(), 0);
+    let grid = CellGrid::build(&sys.pbc, &sys.pos, 0.5);
+    assert!(grid.n_cells() > 0);
+    let clustering = Clustering::build(&sys.pbc, &sys.pos, 0.5);
+    assert_eq!(clustering.n_clusters, 0);
+    let list = PairList::build(&sys, 0.4, ListKind::Half);
+    assert_eq!(list.n_pairs(), 0);
+    let en = compute_forces_half(&mut sys, &list, &params());
+    assert_eq!(en.pairs_within_cutoff, 0);
+    assert_eq!(sys.kinetic_energy(), 0.0);
+    assert_eq!(sys.temperature(0), 0.0);
+}
+
+#[test]
+fn single_particle_has_no_interactions() {
+    let top = Topology::lj_fluid(1);
+    let mut sys = System::from_topology(top, PbcBox::cubic(2.0), vec![vec3(1.0, 1.0, 1.0)]);
+    let list = PairList::build(&sys, 0.4, ListKind::Half);
+    let en = compute_forces_half(&mut sys, &list, &params());
+    assert_eq!(en.pairs_within_cutoff, 0);
+    assert_eq!(en.total(), 0.0);
+    assert_eq!(sys.force[0], mdsim::Vec3::ZERO);
+}
+
+#[test]
+fn two_particles_interact_exactly_once() {
+    let top = Topology::lj_fluid(2);
+    let mut sys = System::from_topology(
+        top,
+        PbcBox::cubic(2.0),
+        vec![vec3(0.9, 1.0, 1.0), vec3(1.2, 1.0, 1.0)],
+    );
+    let list = PairList::build(&sys, 0.4, ListKind::Half);
+    let en = compute_forces_half(&mut sys, &list, &params());
+    assert_eq!(en.pairs_within_cutoff, 1);
+    // Newton's third law exactly.
+    assert!((sys.force[0] + sys.force[1]).norm() < 1e-4);
+}
+
+#[test]
+fn coincident_particles_do_not_produce_nan() {
+    // Two particles at exactly the same point: the r2 == 0 guard must
+    // skip the pair rather than emit infinities.
+    let top = Topology::lj_fluid(2);
+    let mut sys = System::from_topology(
+        top,
+        PbcBox::cubic(2.0),
+        vec![vec3(1.0, 1.0, 1.0), vec3(1.0, 1.0, 1.0)],
+    );
+    let en = compute_forces_brute(&mut sys, &params());
+    assert_eq!(en.pairs_within_cutoff, 0);
+    assert!(sys.force.iter().all(|f| f.norm().is_finite()));
+}
+
+#[test]
+fn minimum_box_still_works() {
+    // water_box clamps the box to at least 0.6 nm for tiny molecule
+    // counts; everything downstream must still run.
+    let mut sys = mdsim::water::water_box(1, 300.0, 1);
+    assert!(sys.pbc.lengths().x >= 0.6);
+    let p = NbParams {
+        r_cut: 0.25,
+        coulomb: Coulomb::ReactionField { eps_rf: 78.0 },
+    };
+    let list = PairList::build(&sys, 0.25, ListKind::Half);
+    let en = compute_forces_half(&mut sys, &list, &p);
+    // A single water molecule: all pairs are excluded intramolecular.
+    assert_eq!(en.pairs_within_cutoff, 0);
+}
+
+#[test]
+fn dd_on_more_ranks_than_particles() {
+    let top = Topology::lj_fluid(3);
+    let mut sys = System::from_topology(
+        top,
+        PbcBox::cubic(3.0),
+        vec![vec3(0.5, 0.5, 0.5), vec3(1.6, 1.6, 1.6), vec3(2.4, 0.5, 1.0)],
+    );
+    let (en, stats) = mdsim::ddrun::compute_forces_dd(&mut sys, 8, &params());
+    assert_eq!(stats.local.iter().sum::<usize>(), 3);
+    assert!(en.pairs_within_cutoff <= 3);
+}
+
+#[test]
+fn zero_step_trajectory_apis() {
+    // Analysis accumulators behave with no data.
+    let rdf = mdsim::analysis::Rdf::new(1.0, 10);
+    assert_eq!(rdf.frames, 0);
+    assert_eq!(rdf.coordination_number(0.5), 0.0);
+    let msd = mdsim::analysis::Msd::new(&[]);
+    assert_eq!(msd.diffusion_slope(), 0.0);
+}

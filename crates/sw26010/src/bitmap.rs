@@ -1,0 +1,148 @@
+//! Bit-Map update marks (paper §3.3, Fig. 5).
+//!
+//! One bit per cache line of a CPE's force copy records whether that line
+//! was ever updated. With 8 particle-packages (32 particles) per line, one
+//! byte of marks covers 256 particles and one `u64` word covers 2048 — the
+//! whole bookkeeping for a large copy fits in a handful of LDM words, and
+//! all operations are single bit-ops (Alg. 3 line 11/16, Alg. 4 line 4).
+
+use serde::{Deserialize, Serialize};
+
+/// A compact bit vector indexed by cache-line number.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitMap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitMap {
+    /// A bitmap of `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no bits are addressable.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i >> 6] >> (i & 63)) & 1 == 1
+    }
+
+    /// Set bit `i` to 1. Returns the previous value.
+    #[inline]
+    pub fn set(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let w = &mut self.words[i >> 6];
+        let mask = 1u64 << (i & 63);
+        let prev = *w & mask != 0;
+        *w |= mask;
+        prev
+    }
+
+    /// Clear bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] &= !(1u64 << (i & 63));
+    }
+
+    /// Clear all bits.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate indices of set bits in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+        .take_while(move |&i| i < self.len)
+    }
+
+    /// LDM bytes consumed by this bitmap.
+    pub fn ldm_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = BitMap::new(130);
+        assert!(!b.get(0));
+        assert!(!b.set(0));
+        assert!(b.set(0));
+        assert!(b.get(0));
+        b.set(129);
+        assert!(b.get(129));
+        b.clear(0);
+        assert!(!b.get(0));
+        assert_eq!(b.count_ones(), 1);
+    }
+
+    #[test]
+    fn iter_ones_in_order() {
+        let mut b = BitMap::new(200);
+        for i in [3, 64, 65, 199] {
+            b.set(i);
+        }
+        let ones: Vec<_> = b.iter_ones().collect();
+        assert_eq!(ones, vec![3, 64, 65, 199]);
+    }
+
+    #[test]
+    fn clear_all_resets() {
+        let mut b = BitMap::new(100);
+        for i in 0..100 {
+            b.set(i);
+        }
+        assert_eq!(b.count_ones(), 100);
+        b.clear_all();
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn one_byte_covers_256_particles() {
+        // Paper Fig. 5: 8 bits x 8 packages/line x 4 particles/package = 256.
+        let particles_per_line = 8 * 4;
+        let b = BitMap::new(8);
+        assert_eq!(b.len() * particles_per_line, 256);
+    }
+
+    #[test]
+    fn ldm_footprint_is_tiny() {
+        // Marks for a 3M-particle copy (3M/32 lines) fit in ~12 KB.
+        let lines = 3_000_000 / 32;
+        let b = BitMap::new(lines);
+        assert!(b.ldm_bytes() < 12 * 1024);
+    }
+}

@@ -1,0 +1,271 @@
+//! Core-group execution model: one MPE plus 64 CPEs.
+//!
+//! The athread programming model spawns one kernel instance on each of the
+//! 64 CPEs and joins them. [`CoreGroup::spawn`] reproduces that shape: the
+//! closure runs once per CPE (in real parallel threads via crossbeam, so
+//! host wall-clock also benefits), each instance metering its own
+//! simulated cycles into a [`CpeCtx`]. The region's simulated wall time is
+//! the *maximum* over CPEs plus the spawn/join overhead — load imbalance
+//! between CPEs is therefore visible in the model, exactly the effect the
+//! paper's USTC-pipeline discussion (§2.2/§4.3) hinges on.
+
+use crate::ldm::Ldm;
+use crate::params::{CPES_PER_CG, CPE_MESH_DIM, REG_COMM_CYCLES, SPAWN_JOIN_CYCLES};
+use crate::perf::PerfCounters;
+
+/// Execution context of one CPE kernel instance.
+#[derive(Debug)]
+pub struct CpeCtx {
+    /// CPE index in 0..64.
+    pub id: usize,
+    /// Cycle/traffic counters for this instance.
+    pub perf: PerfCounters,
+    /// LDM budget ledger; reservations exceeding 64 KB fail.
+    pub ldm: Ldm,
+}
+
+impl CpeCtx {
+    fn new(id: usize) -> Self {
+        Self {
+            id,
+            perf: PerfCounters::new(),
+            ldm: Ldm::new(),
+        }
+    }
+
+    /// Row index of this CPE in the 8x8 mesh.
+    pub fn row(&self) -> usize {
+        self.id / CPE_MESH_DIM
+    }
+
+    /// Column index of this CPE in the 8x8 mesh.
+    pub fn col(&self) -> usize {
+        self.id % CPE_MESH_DIM
+    }
+
+    /// Account one hop of register communication to a row/column neighbor.
+    pub fn reg_comm(&mut self, hops: u64) {
+        self.perf.cycles += hops * REG_COMM_CYCLES;
+    }
+}
+
+/// Execution context of the management processing element (MPE).
+#[derive(Debug, Default)]
+pub struct MpeCtx {
+    /// Cycle/traffic counters for MPE-serial work.
+    pub perf: PerfCounters,
+}
+
+impl MpeCtx {
+    /// Fresh MPE context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Result of a CPE parallel region.
+#[derive(Debug)]
+pub struct SpawnResult<R> {
+    /// Per-CPE return values, indexed by CPE id.
+    pub results: Vec<R>,
+    /// Per-CPE counters, indexed by CPE id.
+    pub per_cpe: Vec<PerfCounters>,
+    /// Region-level counters: wall cycles = max over CPEs + spawn/join,
+    /// traffic = sum over CPEs.
+    pub region: PerfCounters,
+}
+
+impl<R> SpawnResult<R> {
+    /// Ratio of slowest to mean CPE cycles (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let max = self.per_cpe.iter().map(|p| p.cycles).max().unwrap_or(0);
+        let sum: u64 = self.per_cpe.iter().map(|p| p.cycles).sum();
+        if sum == 0 {
+            return 1.0;
+        }
+        max as f64 * self.per_cpe.len() as f64 / sum as f64
+    }
+}
+
+/// One core group: spawns CPE kernels and runs MPE-serial sections.
+#[derive(Debug, Default)]
+pub struct CoreGroup {
+    /// Number of CPEs used by spawn (always 64 on real hardware; smaller
+    /// values support ablation experiments).
+    pub n_cpes: usize,
+}
+
+impl CoreGroup {
+    /// A full 64-CPE core group.
+    pub fn new() -> Self {
+        Self { n_cpes: CPES_PER_CG }
+    }
+
+    /// A core group restricted to `n` CPEs (ablation).
+    pub fn with_cpes(n: usize) -> Self {
+        assert!((1..=CPES_PER_CG).contains(&n));
+        Self { n_cpes: n }
+    }
+
+    /// Run `kernel` once per CPE in parallel. The closure receives the
+    /// CPE's context and must meter its own work through it.
+    pub fn spawn<R, F>(&self, kernel: F) -> SpawnResult<R>
+    where
+        R: Send,
+        F: Fn(&mut CpeCtx) -> R + Sync,
+    {
+        let n = self.n_cpes;
+        let mut slots: Vec<Option<(R, PerfCounters)>> = (0..n).map(|_| None).collect();
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+            .min(n);
+        let chunk = n.div_ceil(threads);
+        crossbeam::thread::scope(|s| {
+            let mut start = 0usize;
+            let mut handles = Vec::new();
+            for slice in slots.chunks_mut(chunk) {
+                let base = start;
+                start += slice.len();
+                let kernel = &kernel;
+                handles.push(s.spawn(move |_| {
+                    for (off, slot) in slice.iter_mut().enumerate() {
+                        let mut ctx = CpeCtx::new(base + off);
+                        let r = kernel(&mut ctx);
+                        *slot = Some((r, ctx.perf));
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("CPE kernel panicked");
+            }
+        })
+        .expect("crossbeam scope failed");
+
+        let mut results = Vec::with_capacity(n);
+        let mut per_cpe = Vec::with_capacity(n);
+        for slot in slots {
+            let (r, p) = slot.expect("CPE slot unfilled");
+            results.push(r);
+            per_cpe.push(p);
+        }
+        let mut region = PerfCounters::new();
+        for p in &per_cpe {
+            region.merge_par(p);
+        }
+        // Roofline: the region cannot finish faster than the CG memory
+        // system can move the aggregate DMA traffic (Table 2 rate).
+        region.cycles = region.cycles.max(region.dma_bw_cycles);
+        region.cycles += SPAWN_JOIN_CYCLES;
+        SpawnResult {
+            results,
+            per_cpe,
+            region,
+        }
+    }
+
+    /// Run an MPE-serial section, returning its value and counters.
+    pub fn mpe_section<R>(&self, f: impl FnOnce(&mut MpeCtx) -> R) -> (R, PerfCounters) {
+        let mut ctx = MpeCtx::new();
+        let r = f(&mut ctx);
+        (r, ctx.perf)
+    }
+
+    /// Static round-robin partition of `n_items` across CPEs: the item
+    /// range owned by `cpe_id` under blocked distribution.
+    pub fn block_range(&self, n_items: usize, cpe_id: usize) -> std::ops::Range<usize> {
+        let per = n_items.div_ceil(self.n_cpes);
+        let start = (cpe_id * per).min(n_items);
+        let end = ((cpe_id + 1) * per).min(n_items);
+        start..end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_runs_all_cpes_with_correct_ids() {
+        let cg = CoreGroup::new();
+        let out = cg.spawn(|ctx| ctx.id * 2);
+        assert_eq!(out.results.len(), 64);
+        for (i, r) in out.results.iter().enumerate() {
+            assert_eq!(*r, i * 2);
+        }
+    }
+
+    #[test]
+    fn region_time_is_max_plus_overhead() {
+        let cg = CoreGroup::new();
+        let out = cg.spawn(|ctx| {
+            // CPE 63 does the most simulated work.
+            crate::simd::meter::scalar_flops(&mut ctx.perf, (ctx.id as u64 + 1) * 100);
+        });
+        assert_eq!(out.region.cycles, 6400 + SPAWN_JOIN_CYCLES);
+        let total_flops: u64 = out.per_cpe.iter().map(|p| p.scalar_flops).sum();
+        assert_eq!(total_flops, (1..=64).map(|i| i * 100).sum::<u64>());
+        assert_eq!(out.region.scalar_flops, total_flops);
+    }
+
+    #[test]
+    fn imbalance_metric() {
+        let cg = CoreGroup::with_cpes(4);
+        let balanced = cg.spawn(|ctx| {
+            crate::simd::meter::scalar_flops(&mut ctx.perf, 100);
+            ctx.id
+        });
+        assert!((balanced.imbalance() - 1.0).abs() < 1e-9);
+        let skewed = cg.spawn(|ctx| {
+            let work = if ctx.id == 0 { 400 } else { 100 };
+            crate::simd::meter::scalar_flops(&mut ctx.perf, work);
+        });
+        assert!(skewed.imbalance() > 1.5);
+    }
+
+    #[test]
+    fn mesh_coordinates() {
+        let cg = CoreGroup::new();
+        let out = cg.spawn(|ctx| (ctx.row(), ctx.col()));
+        assert_eq!(out.results[0], (0, 0));
+        assert_eq!(out.results[9], (1, 1));
+        assert_eq!(out.results[63], (7, 7));
+    }
+
+    #[test]
+    fn block_range_covers_everything_once() {
+        let cg = CoreGroup::new();
+        let n = 1000;
+        let mut seen = vec![0u8; n];
+        for cpe in 0..64 {
+            for i in cg.block_range(n, cpe) {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn mpe_section_meters_separately() {
+        let cg = CoreGroup::new();
+        let (v, perf) = cg.mpe_section(|mpe| {
+            crate::simd::meter::scalar_flops(&mut mpe.perf, 42);
+            7
+        });
+        assert_eq!(v, 7);
+        assert_eq!(perf.cycles, 42);
+    }
+
+    #[test]
+    fn spawn_is_deterministic_in_simulated_time() {
+        let cg = CoreGroup::new();
+        let run = || {
+            cg.spawn(|ctx| {
+                crate::simd::meter::scalar_flops(&mut ctx.perf, (ctx.id as u64) % 7 * 13);
+            })
+            .region
+            .cycles
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,148 @@
+//! Local Device Memory (LDM) budget tracking.
+//!
+//! Each CPE has only 64 KB of LDM (paper §1), and fitting the software
+//! caches, update buffers, and SIMD staging areas into it is one of the
+//! central constraints the paper works around. The simulator does not
+//! emulate LDM addressing — kernel data lives in ordinary Rust values —
+//! but every kernel must *reserve* its LDM footprint through [`Ldm`],
+//! which enforces the 64 KB capacity and makes over-budget kernel
+//! configurations a hard error instead of a silent fiction.
+
+use crate::params::LDM_BYTES;
+
+/// Error returned when a reservation would exceed LDM capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LdmOverflow {
+    /// Bytes requested by the failing reservation.
+    pub requested: usize,
+    /// Bytes already reserved.
+    pub in_use: usize,
+    /// Total capacity (64 KB).
+    pub capacity: usize,
+    /// Label of the failing reservation, for diagnostics.
+    pub label: &'static str,
+}
+
+impl std::fmt::Display for LdmOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LDM overflow reserving {} B for `{}`: {} B already in use of {} B",
+            self.requested, self.label, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for LdmOverflow {}
+
+/// A labelled LDM reservation ledger for one CPE kernel instance.
+#[derive(Debug, Clone)]
+pub struct Ldm {
+    capacity: usize,
+    in_use: usize,
+    reservations: Vec<(&'static str, usize)>,
+}
+
+impl Default for Ldm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Ldm {
+    /// A fresh ledger with the architectural 64 KB capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(LDM_BYTES)
+    }
+
+    /// A ledger with a custom capacity (used by ablation benches that ask
+    /// "what if the LDM were smaller/larger?").
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity,
+            in_use: 0,
+            reservations: Vec::new(),
+        }
+    }
+
+    /// Reserve `bytes` of LDM under `label`. Fails if capacity is exceeded.
+    pub fn reserve(&mut self, label: &'static str, bytes: usize) -> Result<(), LdmOverflow> {
+        if self.in_use + bytes > self.capacity {
+            return Err(LdmOverflow {
+                requested: bytes,
+                in_use: self.in_use,
+                capacity: self.capacity,
+                label,
+            });
+        }
+        self.in_use += bytes;
+        self.reservations.push((label, bytes));
+        Ok(())
+    }
+
+    /// Reserve space for `n` values of type `T`.
+    pub fn reserve_array<T>(&mut self, label: &'static str, n: usize) -> Result<(), LdmOverflow> {
+        self.reserve(label, n * std::mem::size_of::<T>())
+    }
+
+    /// Bytes currently reserved.
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Bytes still free.
+    pub fn free(&self) -> usize {
+        self.capacity - self.in_use
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The labelled reservations made so far, in order.
+    pub fn reservations(&self) -> &[(&'static str, usize)] {
+        &self.reservations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_within_capacity() {
+        let mut ldm = Ldm::new();
+        ldm.reserve("cache", 32 * 1024).unwrap();
+        ldm.reserve("buffer", 16 * 1024).unwrap();
+        assert_eq!(ldm.in_use(), 48 * 1024);
+        assert_eq!(ldm.free(), 16 * 1024);
+    }
+
+    #[test]
+    fn overflow_is_rejected_and_state_unchanged() {
+        let mut ldm = Ldm::new();
+        ldm.reserve("a", 60 * 1024).unwrap();
+        let err = ldm.reserve("b", 8 * 1024).unwrap_err();
+        assert_eq!(err.label, "b");
+        assert_eq!(err.in_use, 60 * 1024);
+        assert_eq!(ldm.in_use(), 60 * 1024);
+        // Exactly filling remaining space still works.
+        ldm.reserve("c", 4 * 1024).unwrap();
+        assert_eq!(ldm.free(), 0);
+    }
+
+    #[test]
+    fn reserve_array_uses_type_size() {
+        let mut ldm = Ldm::new();
+        ldm.reserve_array::<f32>("floats", 1024).unwrap();
+        assert_eq!(ldm.in_use(), 4096);
+    }
+
+    #[test]
+    fn display_mentions_label() {
+        let mut ldm = Ldm::with_capacity(10);
+        let err = ldm.reserve("big", 11).unwrap_err();
+        assert!(err.to_string().contains("big"));
+    }
+}

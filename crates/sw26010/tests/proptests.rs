@@ -1,0 +1,135 @@
+//! Property-based tests for the hardware-simulator substrate: the
+//! software caches must be transparent (same data as direct access), the
+//! Bit-Map must behave like a set, and cost accounting must be additive.
+
+use proptest::prelude::*;
+use sw26010::bitmap::BitMap;
+use sw26010::cache::{CacheGeometry, ReadCache, WriteCache};
+use sw26010::dma::{Dir, DmaEngine};
+use sw26010::perf::PerfCounters;
+
+fn geometry() -> impl Strategy<Value = CacheGeometry> {
+    (0u32..4, 1usize..=2, 0u32..4, 1usize..8).prop_map(|(sets, ways, line, words)| {
+        CacheGeometry::new(1 << sets, ways, 1 << line, words)
+    })
+}
+
+proptest! {
+    /// A read cache is invisible: any access sequence returns exactly the
+    /// backing data.
+    #[test]
+    fn read_cache_is_transparent(
+        geo in geometry(),
+        accesses in prop::collection::vec(0usize..200, 1..300),
+    ) {
+        let elem_words = geo.elem_words;
+        let backing: Vec<f32> = (0..200 * elem_words).map(|i| i as f32).collect();
+        let mut cache = ReadCache::new(geo);
+        let mut perf = PerfCounters::new();
+        for &idx in &accesses {
+            let got = cache.get(&mut perf, &backing, idx).to_vec();
+            let want = &backing[idx * elem_words..(idx + 1) * elem_words];
+            prop_assert_eq!(got.as_slice(), want);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses, accesses.len() as u64);
+    }
+
+    /// Deferred update through a write cache (with or without marks)
+    /// produces exactly the same final array as direct accumulation.
+    #[test]
+    fn write_cache_accumulates_exactly(
+        sets in 0u32..3,
+        line in 0u32..3,
+        marks in any::<bool>(),
+        updates in prop::collection::vec((0usize..96, -8i32..8), 1..400),
+    ) {
+        let geo = CacheGeometry::new(1 << sets, 1, 1 << line, 2);
+        let n_elems = 96usize;
+        let mut copy = vec![0.0f32; n_elems * 2];
+        let mut naive = vec![0.0f32; n_elems * 2];
+        let mut cache = if marks {
+            WriteCache::with_marks(geo, n_elems)
+        } else {
+            WriteCache::new(geo)
+        };
+        let mut perf = PerfCounters::new();
+        for &(idx, v) in &updates {
+            let delta = [v as f32, -v as f32];
+            cache.update(&mut perf, &mut copy, idx, &delta);
+            naive[idx * 2] += v as f32;
+            naive[idx * 2 + 1] -= v as f32;
+        }
+        cache.flush(&mut perf, &mut copy);
+        prop_assert_eq!(copy, naive);
+    }
+
+    /// With marks, untouched lines are never fetched, and the mark bits
+    /// are exactly the set of touched lines.
+    #[test]
+    fn marks_equal_touched_lines(
+        updates in prop::collection::vec(0usize..256, 1..200),
+    ) {
+        let geo = CacheGeometry::new(4, 1, 4, 1);
+        let mut copy = vec![0.0f32; 256];
+        let mut cache = WriteCache::with_marks(geo, 256);
+        let mut perf = PerfCounters::new();
+        let mut touched = std::collections::HashSet::new();
+        for &idx in &updates {
+            cache.update(&mut perf, &mut copy, idx, &[1.0]);
+            touched.insert(idx / 4);
+        }
+        let marks = cache.marks().unwrap();
+        for line in 0..64 {
+            prop_assert_eq!(marks.get(line), touched.contains(&line), "line {}", line);
+        }
+    }
+
+    /// BitMap behaves as a set of indices.
+    #[test]
+    fn bitmap_is_a_set(ops in prop::collection::vec((0usize..500, any::<bool>()), 1..300)) {
+        let mut bm = BitMap::new(500);
+        let mut model = std::collections::HashSet::new();
+        for &(i, set) in &ops {
+            if set {
+                bm.set(i);
+                model.insert(i);
+            } else {
+                bm.clear(i);
+                model.remove(&i);
+            }
+        }
+        prop_assert_eq!(bm.count_ones(), model.len());
+        let ones: Vec<usize> = bm.iter_ones().collect();
+        let mut want: Vec<usize> = model.into_iter().collect();
+        want.sort_unstable();
+        prop_assert_eq!(ones, want);
+    }
+
+    /// DMA cost is monotone in size and counters are additive.
+    #[test]
+    fn dma_cost_monotone_and_additive(sizes in prop::collection::vec(1usize..4096, 1..50)) {
+        let mut perf = PerfCounters::new();
+        let mut sum = 0u64;
+        for &s in &sizes {
+            let before = perf.cycles;
+            DmaEngine::transfer(&mut perf, Dir::Get, s, true);
+            sum += perf.cycles - before;
+            // Monotonicity in size.
+            let c1 = DmaEngine::transfer_cycles(s);
+            let c2 = DmaEngine::transfer_cycles(s + 64);
+            prop_assert!(c2 >= c1, "size {}: {} then {}", s, c1, c2);
+        }
+        prop_assert_eq!(perf.cycles, sum);
+        prop_assert_eq!(perf.dma_bytes, sizes.iter().map(|&s| s as u64).sum::<u64>());
+    }
+
+    /// Geometry decomposition is a bijection: (tag, set, offset) uniquely
+    /// reconstructs the index.
+    #[test]
+    fn decompose_is_bijective(geo in geometry(), idx in 0usize..100_000) {
+        let (tag, set, offset) = geo.decompose(idx);
+        let rebuilt = ((tag * geo.n_sets + set) * geo.line_elems) + offset;
+        prop_assert_eq!(rebuilt, idx);
+    }
+}

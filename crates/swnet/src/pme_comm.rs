@@ -1,0 +1,112 @@
+//! PME mesh communication plan.
+//!
+//! A distributed 3-D FFT of a `K^3` grid over `R` ranks performs two
+//! transposes per direction (slab or pencil decomposition), each an
+//! all-to-all moving the whole grid once; forward + inverse = four
+//! transposes per PME evaluation. §2.1 singles this out: "To parallelize
+//! PME, the Fast Fourier Transformation is supposed to be used in many
+//! processes, causing heavy-duty communication."
+
+use crate::params::NetParams;
+use crate::transport::Transport;
+use crate::{alltoall_ns, Topology};
+
+/// Bytes of complex grid data owned by each rank (`K^3 / R` points of
+/// 16 B).
+pub fn grid_bytes_per_rank(grid: usize, n_ranks: usize) -> usize {
+    (grid * grid * grid * 16).div_ceil(n_ranks.max(1))
+}
+
+/// Communication time (ns) of one full PME evaluation (forward + inverse
+/// FFT, two transposes each) for a `grid^3` mesh over the topology.
+pub fn pme_fft_comm_ns(
+    params: &NetParams,
+    topo: &Topology,
+    transport: Transport,
+    grid: usize,
+) -> f64 {
+    if topo.n_ranks <= 1 {
+        return 0.0;
+    }
+    // Each transpose is an all-to-all whose per-pair payload is the
+    // rank's grid share split across all peers.
+    let per_pair = grid_bytes_per_rank(grid, topo.n_ranks) / topo.n_ranks.max(1);
+    4.0 * alltoall_ns(params, topo, transport, per_pair.max(16))
+}
+
+/// The rank count at which PME communication exceeds a given per-rank
+/// mesh compute time (ns) — the classic "separate PME ranks" crossover
+/// GROMACS tunes around. Returns `None` if it never crosses within
+/// `max_ranks`.
+pub fn comm_bound_crossover(
+    params: &NetParams,
+    transport: Transport,
+    grid: usize,
+    mesh_compute_ns_at_4: f64,
+    max_ranks: usize,
+) -> Option<usize> {
+    let mut ranks = 4usize;
+    while ranks <= max_ranks {
+        let topo = Topology::new(ranks);
+        // Compute shrinks ~linearly with ranks; communication grows.
+        let compute = mesh_compute_ns_at_4 * 4.0 / ranks as f64;
+        if pme_fft_comm_ns(params, &topo, transport, grid) > compute {
+            return Some(ranks);
+        }
+        ranks *= 2;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_is_free() {
+        let p = NetParams::taihulight();
+        assert_eq!(
+            pme_fft_comm_ns(&p, &Topology::new(1), Transport::Rdma, 64),
+            0.0
+        );
+    }
+
+    #[test]
+    fn comm_grows_with_rank_count() {
+        // Per-pair messages shrink but message count grows quadratically:
+        // at GROMACS scales the all-to-all becomes latency-bound and the
+        // total grows with R.
+        let p = NetParams::taihulight();
+        let t = |r: usize| pme_fft_comm_ns(&p, &Topology::new(r), Transport::Rdma, 64);
+        assert!(t(64) < t(256));
+        assert!(t(256) < t(1024));
+    }
+
+    #[test]
+    fn bigger_grids_cost_more() {
+        let p = NetParams::taihulight();
+        let topo = Topology::new(64);
+        let small = pme_fft_comm_ns(&p, &topo, Transport::Rdma, 32);
+        let large = pme_fft_comm_ns(&p, &topo, Transport::Rdma, 128);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn rdma_helps_the_latency_bound_regime() {
+        let p = NetParams::taihulight();
+        let topo = Topology::new(512);
+        let mpi = pme_fft_comm_ns(&p, &topo, Transport::Mpi, 64);
+        let rdma = pme_fft_comm_ns(&p, &topo, Transport::Rdma, 64);
+        assert!(rdma * 2.0 < mpi, "mpi {mpi} vs rdma {rdma}");
+    }
+
+    #[test]
+    fn crossover_exists_for_small_grids() {
+        // A 64^3 mesh: compute per rank falls fast, the all-to-all grows;
+        // the crossover should appear well before 4096 ranks.
+        let p = NetParams::taihulight();
+        let crossover =
+            comm_bound_crossover(&p, Transport::Rdma, 64, 5_000_000.0, 4096).unwrap();
+        assert!(crossover <= 4096, "crossover at {crossover}");
+    }
+}

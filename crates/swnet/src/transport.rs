@@ -1,0 +1,97 @@
+//! Point-to-point message cost: the 4-copy MPI path vs zero-copy RDMA
+//! (paper §3.6).
+//!
+//! MPI path per message: user -> kernel copy, packetization, NIC copy on
+//! the sender; the mirror image on the receiver — four buffer copies plus
+//! kernel time. RDMA path: the NIC reads user memory directly and the
+//! receiver's NIC writes user memory directly — no copies, no kernel.
+
+use crate::params::{NetParams, RankDistance};
+
+/// Which transport the communication layer uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Classic MPI over TCP-like segments with the full copy chain.
+    Mpi,
+    /// RDMA verbs: zero copy, kernel bypass.
+    Rdma,
+}
+
+/// End-to-end time in ns for one message of `bytes` over `transport`
+/// between ranks at distance `dist`.
+pub fn message_ns(params: &NetParams, transport: Transport, dist: RankDistance, bytes: usize) -> f64 {
+    if dist == RankDistance::SameRank {
+        return 0.0;
+    }
+    let lat = params.latency_ns(dist);
+    let stream = bytes as f64 / params.bandwidth_gbs;
+    match transport {
+        Transport::Mpi => {
+            // Eager protocol copies every byte `mpi_copies` times (§3.6:
+            // "the data has to be copied four times"); the rendezvous
+            // protocol adds a request/ack handshake (two extra wire
+            // latencies) but pipelines a single bounce-buffer copy with
+            // the wire. Real stacks use whichever is cheaper, which also
+            // keeps the cost monotone in message size.
+            let eager =
+                lat + params.mpi_copies as f64 * bytes as f64 / params.mem_bandwidth_gbs + stream;
+            let rendezvous = 3.0 * lat + (bytes as f64 / params.mem_bandwidth_gbs).max(stream);
+            params.mpi_sw_overhead_ns + eager.min(rendezvous)
+        }
+        Transport::Rdma => params.rdma_sw_overhead_ns + lat + stream,
+    }
+}
+
+/// Speedup of RDMA over MPI for a given message size/distance.
+pub fn rdma_speedup(params: &NetParams, dist: RankDistance, bytes: usize) -> f64 {
+    message_ns(params, Transport::Mpi, dist, bytes)
+        / message_ns(params, Transport::Rdma, dist, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rdma_is_never_slower() {
+        let p = NetParams::taihulight();
+        for bytes in [8usize, 1024, 1 << 20] {
+            for d in [
+                RankDistance::SameChip,
+                RankDistance::SameSupernode,
+                RankDistance::CrossTree,
+            ] {
+                assert!(
+                    message_ns(&p, Transport::Rdma, d, bytes)
+                        < message_ns(&p, Transport::Mpi, d, bytes)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rdma_advantage_is_largest_for_small_messages() {
+        // §3.6 motivation: high-frequency small messages suffer most from
+        // per-message software overhead.
+        let p = NetParams::taihulight();
+        let small = rdma_speedup(&p, RankDistance::SameSupernode, 64);
+        let large = rdma_speedup(&p, RankDistance::SameSupernode, 16 << 20);
+        assert!(small > large, "small {small:.2}x vs large {large:.2}x");
+        assert!(small > 1.5);
+    }
+
+    #[test]
+    fn same_rank_is_free() {
+        let p = NetParams::taihulight();
+        assert_eq!(message_ns(&p, Transport::Mpi, RankDistance::SameRank, 1024), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_bound_for_huge_messages() {
+        let p = NetParams::taihulight();
+        let bytes = 1usize << 30;
+        let t = message_ns(&p, Transport::Rdma, RankDistance::CrossTree, bytes);
+        let ideal = bytes as f64 / p.bandwidth_gbs;
+        assert!((t - ideal) / ideal < 0.01);
+    }
+}

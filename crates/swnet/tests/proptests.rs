@@ -1,0 +1,102 @@
+//! Property-based tests for the interconnect model: cost monotonicity,
+//! transport dominance, and topology consistency.
+
+use proptest::prelude::*;
+use swnet::{allreduce_ns, alltoall_ns, gather_ns, halo_exchange_ns};
+use swnet::{message_ns, NetParams, RankDistance, Topology, Transport};
+
+fn distances() -> impl Strategy<Value = RankDistance> {
+    prop_oneof![
+        Just(RankDistance::SameChip),
+        Just(RankDistance::SameSupernode),
+        Just(RankDistance::CrossTree),
+    ]
+}
+
+proptest! {
+    /// Message cost is monotone in size for both transports.
+    #[test]
+    fn message_cost_monotone_in_size(
+        d in distances(),
+        size in 1usize..1_000_000,
+        extra in 1usize..100_000,
+    ) {
+        let p = NetParams::taihulight();
+        for t in [Transport::Mpi, Transport::Rdma] {
+            let a = message_ns(&p, t, d, size);
+            let b = message_ns(&p, t, d, size + extra);
+            prop_assert!(b >= a, "{:?}: {} B {} ns vs {} B {} ns", t, size, a, size + extra, b);
+        }
+    }
+
+    /// RDMA never loses to MPI at any size or distance.
+    #[test]
+    fn rdma_dominates_mpi(d in distances(), size in 1usize..16_000_000) {
+        let p = NetParams::taihulight();
+        prop_assert!(
+            message_ns(&p, Transport::Rdma, d, size) < message_ns(&p, Transport::Mpi, d, size)
+        );
+    }
+
+    /// Farther distance classes never cost less.
+    #[test]
+    fn cost_monotone_in_distance(size in 1usize..1_000_000) {
+        let p = NetParams::taihulight();
+        for t in [Transport::Mpi, Transport::Rdma] {
+            let chip = message_ns(&p, t, RankDistance::SameChip, size);
+            let supernode = message_ns(&p, t, RankDistance::SameSupernode, size);
+            let cross = message_ns(&p, t, RankDistance::CrossTree, size);
+            prop_assert!(chip <= supernode && supernode <= cross);
+        }
+    }
+
+    /// Collectives are monotone in rank count and payload.
+    #[test]
+    fn collectives_monotone(ranks in 2usize..2048, bytes in 8usize..65_536) {
+        let p = NetParams::taihulight();
+        let t1 = Topology::new(ranks);
+        let t2 = Topology::new(ranks * 2);
+        for transport in [Transport::Mpi, Transport::Rdma] {
+            prop_assert!(
+                allreduce_ns(&p, &t1, transport, bytes)
+                    <= allreduce_ns(&p, &t2, transport, bytes)
+            );
+            prop_assert!(
+                alltoall_ns(&p, &t1, transport, bytes) <= alltoall_ns(&p, &t2, transport, bytes)
+            );
+            prop_assert!(
+                gather_ns(&p, &t1, transport, bytes) <= gather_ns(&p, &t2, transport, bytes)
+            );
+            prop_assert!(
+                allreduce_ns(&p, &t1, transport, bytes)
+                    <= allreduce_ns(&p, &t1, transport, bytes * 2)
+            );
+        }
+    }
+
+    /// Topology classification is symmetric and consistent with packing.
+    #[test]
+    fn topology_classification_symmetric(a in 0usize..4096, b in 0usize..4096) {
+        let t = Topology::new(4096);
+        prop_assert_eq!(t.distance(a, b), t.distance(b, a));
+        if a == b {
+            prop_assert_eq!(t.distance(a, b), RankDistance::SameRank);
+        } else if t.chip(a) == t.chip(b) {
+            prop_assert_eq!(t.distance(a, b), RankDistance::SameChip);
+        }
+        // Same chip implies same supernode.
+        if t.chip(a) == t.chip(b) {
+            prop_assert_eq!(t.supernode(a), t.supernode(b));
+        }
+    }
+
+    /// Halo exchange scales linearly with neighbor count.
+    #[test]
+    fn halo_linear_in_neighbors(n in 1usize..12, bytes in 64usize..32_768) {
+        let p = NetParams::taihulight();
+        let t = Topology::new(64);
+        let one = halo_exchange_ns(&p, &t, Transport::Rdma, 1, bytes);
+        let many = halo_exchange_ns(&p, &t, Transport::Rdma, n, bytes);
+        prop_assert!((many - n as f64 * one).abs() < 1e-6 * many.max(1.0));
+    }
+}

@@ -1,0 +1,69 @@
+//! Checkpoint / restart workflow: run, save, resume, and verify the
+//! resumed trajectory is bit-identical to an uninterrupted one.
+//!
+//! ```sh
+//! cargo run --release --example checkpoint_restart
+//! ```
+
+use sw_gromacs::mdsim::checkpoint::Checkpoint;
+use sw_gromacs::mdsim::water::water_box_equilibrated;
+use sw_gromacs::swgmx::engine::{Engine, EngineConfig, Version};
+
+fn engine_over(sys: sw_gromacs::mdsim::System) -> Engine {
+    Engine::new(sys, EngineConfig {
+        nstxout: 0,
+        t_ref: None, // NVE so the comparison is purely deterministic
+        ..EngineConfig::paper(Version::Other)
+    })
+}
+
+fn main() {
+    let sys0 = water_box_equilibrated(300, 300.0, 7);
+    let path = "/tmp/sw_gromacs.cpt";
+
+    // Reference: 40 uninterrupted steps.
+    let mut reference = engine_over(sys0.clone());
+    for _ in 0..40 {
+        reference.step();
+    }
+
+    // Interrupted run: 30 steps (an nstlist boundary — like GROMACS,
+    // checkpoints land on neighbor-search steps so the pair-list rebuild
+    // schedule survives the restart), checkpoint to disk, "crash".
+    let mut first = engine_over(sys0.clone());
+    for _ in 0..30 {
+        first.step();
+    }
+    let cp = Checkpoint::capture(&first.sys, 30);
+    assert_eq!(first.step_index(), 30);
+    let mut file = std::fs::File::create(path).expect("create checkpoint");
+    cp.write_to(&mut file).expect("write checkpoint");
+    drop(first);
+    println!(
+        "checkpoint written at step 30 -> {path} ({} bytes)",
+        std::fs::metadata(path).unwrap().len()
+    );
+
+    // Resume: load the checkpoint into a fresh system, continue 15 steps.
+    let mut file = std::fs::File::open(path).expect("open checkpoint");
+    let loaded = Checkpoint::read_from(&mut file).expect("read checkpoint");
+    println!("resuming from step {}", loaded.step);
+    let mut sys = sys0;
+    loaded.restore(&mut sys).expect("restore");
+    let mut resumed = engine_over(sys);
+    resumed.resume_at(loaded.step as usize);
+    for _ in 0..10 {
+        resumed.step();
+    }
+
+    // On an nstlist boundary the continuation is deterministic: the
+    // rebuilt list comes from identical positions, so the resumed
+    // trajectory is bit-identical to the uninterrupted one.
+    let mut max_dev = 0.0f32;
+    for (a, b) in resumed.sys.pos.iter().zip(&reference.sys.pos) {
+        max_dev = max_dev.max((*a - *b).norm());
+    }
+    println!("max position deviation after resume: {max_dev:.2e} nm");
+    assert!(max_dev == 0.0, "resume diverged by {max_dev:.2e} nm");
+    println!("OK — resumed run is bit-identical to the uninterrupted trajectory");
+}

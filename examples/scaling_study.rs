@@ -1,0 +1,50 @@
+//! Multi-CG scaling study: sweep rank counts for a workload of your
+//! choice and print strong-scaling efficiency and the communication
+//! share, under MPI or RDMA transports (Fig. 12-style).
+//!
+//! ```sh
+//! cargo run --release --example scaling_study [n_particles]
+//! ```
+
+use sw_gromacs::swgmx::engine::{MultiCgModel, Version};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("particle count"))
+        .unwrap_or(48_000);
+    let steps = 5;
+    let ranks_list = [4usize, 16, 64, 256, 512];
+
+    for version in [Version::List, Version::Other] {
+        let label = match version {
+            Version::List => "MPI communication",
+            _ => "RDMA communication",
+        };
+        println!("\n=== {label} ({n} particles, strong scaling) ===");
+        println!(
+            "{:>6} {:>12} {:>10} {:>12}",
+            "CGs", "ms/step", "efficiency", "comm share"
+        );
+        let mut t4 = None;
+        for &ranks in &ranks_list {
+            let out = MultiCgModel::new(n, ranks, version).run(steps, 7);
+            let per_step = out.total_ms / steps as f64;
+            let base = *t4.get_or_insert(per_step);
+            let eff = base / (ranks as f64 / 4.0) / per_step;
+            let comm: u64 = ["Wait + comm. F", "Comm. energies", "Domain decomp."]
+                .iter()
+                .map(|l| out.breakdown.cycles(l))
+                .sum();
+            let comm_share = comm as f64 / out.breakdown.total_cycles() as f64;
+            println!(
+                "{ranks:>6} {per_step:>12.3} {eff:>10.2} {:>11.1}%",
+                100.0 * comm_share
+            );
+        }
+    }
+    println!(
+        "\npaper claim (Fig. 12): strong-scaling efficiency falls to ~0.47 at \
+         512 CGs as communication takes over; RDMA keeps the knee further out"
+    );
+}

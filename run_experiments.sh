@@ -1,0 +1,8 @@
+#!/bin/bash
+# Regenerate every table and figure at paper scale.
+set -e
+cd "$(dirname "$0")"
+for exp in table2_dma fig8_ladder fig9_strategies table1_breakdown fig10_overall fig11_platforms fig12_scaling fig13_accuracy; do
+    echo "=== $exp ==="
+    cargo run --release -p bench --bin $exp "$@" | tee results/$exp.txt
+done

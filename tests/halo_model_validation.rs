@@ -1,0 +1,39 @@
+//! The Fig. 12 scaling model rests on a geometric halo estimate; check
+//! it against the *actual* halo the functional domain decomposition
+//! imports on the same workload.
+
+use sw_gromacs::mdsim::ddrun::compute_forces_dd;
+use sw_gromacs::mdsim::nonbonded::{Coulomb, NbParams};
+use sw_gromacs::mdsim::water::water_box;
+use sw_gromacs::swgmx::engine::{MultiCgModel, Version};
+
+#[test]
+fn halo_estimate_tracks_functional_decomposition() {
+    // 7200 particles over 8 ranks with the production cutoff.
+    let mut sys = water_box(2400, 300.0, 44);
+    let params = NbParams {
+        r_cut: 1.0,
+        coulomb: Coulomb::ReactionField { eps_rf: 78.0 },
+    };
+    let (_, stats) = compute_forces_dd(&mut sys, 8, &params);
+    let actual_mean = stats.halo.iter().sum::<usize>() as f64 / 8.0;
+
+    let model = MultiCgModel::new(sys.n(), 8, Version::Other);
+    let per_rank = sys.n() / 8;
+    let estimate = model.halo_estimate(per_rank) as f64;
+
+    let ratio = estimate / actual_mean;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "halo estimate {estimate:.0} vs measured {actual_mean:.0} (x{ratio:.2})"
+    );
+}
+
+#[test]
+fn halo_estimate_is_monotone_in_cut_surface() {
+    let model = MultiCgModel::new(100_000, 64, Version::Other);
+    // Smaller domains (fewer particles per rank) => larger halo share.
+    let small_domain = model.halo_estimate(500) as f64 / 500.0;
+    let large_domain = model.halo_estimate(20_000) as f64 / 20_000.0;
+    assert!(small_domain > large_domain);
+}

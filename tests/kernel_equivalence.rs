@@ -1,0 +1,107 @@
+//! Cross-crate integration: every force-kernel variant on the simulated
+//! SW26010 (`swgmx` + `sw26010`) must produce the forces and energies of
+//! the scalar reference engine (`mdsim`) on the same workload.
+
+use sw_gromacs::mdsim::nonbonded::{compute_forces_half, max_force_diff, NbParams};
+use sw_gromacs::mdsim::pairlist::{ListKind, PairList};
+use sw_gromacs::mdsim::water::water_box;
+use sw_gromacs::sw26010::CoreGroup;
+use sw_gromacs::swgmx::{
+    run_ori, run_rca, run_rma, run_ustc, CpePairList, KernelResult, PackageLayout, PackedSystem,
+    RmaConfig,
+};
+
+struct Setup {
+    sys: sw_gromacs::mdsim::System,
+    psys: PackedSystem,
+    half: CpePairList,
+    full: CpePairList,
+    params: NbParams,
+}
+
+fn setup() -> Setup {
+    let sys = water_box(900, 300.0, 2024);
+    let params = NbParams {
+        r_cut: 0.7,
+        ..NbParams::paper_default()
+    };
+    let half_list = PairList::build(&sys, 0.7, ListKind::Half);
+    let full_list = PairList::build(&sys, 0.7, ListKind::Full);
+    let psys = PackedSystem::build(&sys, half_list.clustering.clone(), PackageLayout::Transposed);
+    let half = CpePairList::build(&sys, &half_list);
+    let full = CpePairList::build(&sys, &full_list);
+    Setup {
+        sys,
+        psys,
+        half,
+        full,
+        params,
+    }
+}
+
+fn reference(s: &Setup) -> (Vec<sw_gromacs::mdsim::Vec3>, f64) {
+    let mut r = s.sys.clone();
+    r.clear_forces();
+    let list = PairList::build(&r, 0.7, ListKind::Half);
+    let en = compute_forces_half(&mut r, &list, &s.params);
+    (r.force, en.total())
+}
+
+fn check(name: &str, out: &KernelResult, f_ref: &[sw_gromacs::mdsim::Vec3], e_ref: f64) {
+    let rel = (out.energies.total() - e_ref).abs() / e_ref.abs();
+    assert!(rel < 1e-4, "{name}: energy {} vs {}", out.energies.total(), e_ref);
+    let fmax = f_ref.iter().map(|f| f.norm()).fold(0.0f32, f32::max);
+    let diff = max_force_diff(&out.forces, f_ref);
+    assert!(diff / fmax < 1e-3, "{name}: force diff {diff} of {fmax}");
+    assert!(out.total.cycles > 0, "{name}: no cost accounted");
+}
+
+#[test]
+fn every_variant_matches_the_reference() {
+    let s = setup();
+    let (f_ref, e_ref) = reference(&s);
+    let cg = CoreGroup::new();
+    check("Ori", &run_ori(&s.psys, &s.half, &s.params, &cg), &f_ref, e_ref);
+    for cfg in [RmaConfig::PKG, RmaConfig::CACHE, RmaConfig::VEC, RmaConfig::MARK] {
+        check(
+            cfg.name(),
+            &run_rma(&s.psys, &s.half, &s.params, &cg, cfg),
+            &f_ref,
+            e_ref,
+        );
+    }
+    check("RCA", &run_rca(&s.psys, &s.full, &s.params, &cg), &f_ref, e_ref);
+    check("USTC", &run_ustc(&s.psys, &s.half, &s.params, &cg), &f_ref, e_ref);
+}
+
+#[test]
+fn variants_agree_with_each_other_bitwise_modulo_order() {
+    // Mark and Vec differ only in bookkeeping, not arithmetic: their
+    // forces must agree to f32 noise.
+    let s = setup();
+    let cg = CoreGroup::new();
+    let a = run_rma(&s.psys, &s.half, &s.params, &cg, RmaConfig::VEC);
+    let b = run_rma(&s.psys, &s.half, &s.params, &cg, RmaConfig::MARK);
+    assert_eq!(a.energies.pairs_within_cutoff, b.energies.pairs_within_cutoff);
+    let diff = max_force_diff(&a.forces, &b.forces);
+    assert!(diff < 1e-6, "Vec vs Mark force diff {diff}");
+}
+
+#[test]
+fn cpe_generated_list_feeds_kernels_identically() {
+    // Full pipeline: CPE pair-list generation -> kernel, against the
+    // host-built list -> kernel.
+    let s = setup();
+    let cg = CoreGroup::new();
+    let gen = sw_gromacs::swgmx::pairgen::generate_pairlist(&s.sys, 0.7, ListKind::Half, &cg, 2);
+    let cpe = CpePairList::build(&s.sys, &gen.list);
+    let psys = PackedSystem::build(&s.sys, gen.list.clustering.clone(), PackageLayout::Transposed);
+    let from_gen = run_rma(&psys, &cpe, &s.params, &cg, RmaConfig::MARK);
+    let from_host = run_rma(&s.psys, &s.half, &s.params, &cg, RmaConfig::MARK);
+    assert_eq!(
+        from_gen.energies.pairs_within_cutoff,
+        from_host.energies.pairs_within_cutoff
+    );
+    let diff = max_force_diff(&from_gen.forces, &from_host.forces);
+    assert!(diff < 1e-6, "generated vs host list force diff {diff}");
+}

@@ -1,0 +1,98 @@
+//! Workload generality: the optimized kernels must handle systems beyond
+//! 2-type SPC water — TIP3P and a 4-type saline solution — since the LJ
+//! type table, charge pipeline, and exclusion masks all depend on the
+//! topology.
+
+use sw_gromacs::mdsim::nonbonded::{compute_forces_half, max_force_diff, NbParams};
+use sw_gromacs::mdsim::pairlist::{ListKind, PairList};
+use sw_gromacs::mdsim::water::saline_box;
+use sw_gromacs::mdsim::{System, Topology};
+use sw_gromacs::sw26010::CoreGroup;
+use sw_gromacs::swgmx::{run_rma, CpePairList, PackageLayout, PackedSystem, RmaConfig};
+
+fn check_kernel_against_reference(sys: &System, r_cut: f32) {
+    let params = NbParams {
+        r_cut,
+        ..NbParams::paper_default()
+    };
+    let list = PairList::build(sys, r_cut, ListKind::Half);
+    let psys = PackedSystem::build(sys, list.clustering.clone(), PackageLayout::Transposed);
+    let cpe = CpePairList::build(sys, &list);
+    let out = run_rma(&psys, &cpe, &params, &CoreGroup::new(), RmaConfig::MARK);
+
+    let mut r = sys.clone();
+    r.clear_forces();
+    let en = compute_forces_half(&mut r, &list, &params);
+    assert_eq!(out.energies.pairs_within_cutoff, en.pairs_within_cutoff);
+    let rel = (out.energies.total() - en.total()).abs() / en.total().abs().max(1.0);
+    assert!(rel < 1e-5, "energy {rel}");
+    let fmax = r.force.iter().map(|f| f.norm()).fold(0.0f32, f32::max);
+    assert!(max_force_diff(&out.forces, &r.force) / fmax < 1e-3);
+}
+
+#[test]
+fn saline_solution_through_the_full_stack() {
+    let sys = saline_box(700, 24, 300.0, 5);
+    assert_eq!(sys.topology.n_types(), 4);
+    assert_eq!(sys.n(), 700 * 3 + 48);
+    // Net charge neutral.
+    let q: f32 = sys.charge.iter().sum();
+    assert!(q.abs() < 1e-3, "net charge {q}");
+    check_kernel_against_reference(&sys, 0.7);
+}
+
+#[test]
+fn tip3p_differs_from_spc_but_both_work() {
+    let spc = Topology::spc_water(10);
+    let tip3p = Topology::tip3p_water(10);
+    // Same shape, different parameters.
+    assert_eq!(spc.n_particles(), tip3p.n_particles());
+    assert_ne!(spc.lj(0, 0), tip3p.lj(0, 0));
+    assert_ne!(spc.types[0].charge, tip3p.types[0].charge);
+    // Both charge-neutral per molecule.
+    for top in [&spc, &tip3p] {
+        let q: f32 = top.kinds[0]
+            .atom_types
+            .iter()
+            .map(|&t| top.types[t].charge)
+            .sum();
+        assert!(q.abs() < 1e-6);
+    }
+}
+
+#[test]
+fn ion_lj_table_uses_combination_rules() {
+    let top = Topology::saline(10, 2);
+    // Na (2) - Cl (3) cross term: Lorentz-Berthelot of the two.
+    let (c6_nacl, c12_nacl) = top.lj(2, 3);
+    let sigma = 0.5 * (0.2160 + 0.4830) as f32;
+    let eps = (1.475f32 * 0.0535).sqrt();
+    assert!((c6_nacl - 4.0 * eps * sigma.powi(6)).abs() / c6_nacl < 1e-5);
+    assert!((c12_nacl - 4.0 * eps * sigma.powi(12)).abs() / c12_nacl < 1e-5);
+    // Ion-water oxygen cross terms exist and are positive.
+    let (c6_nao, _) = top.lj(2, 0);
+    assert!(c6_nao > 0.0);
+}
+
+#[test]
+fn ions_feel_strong_coulomb_forces() {
+    let sys = saline_box(300, 12, 300.0, 6);
+    let params = NbParams {
+        r_cut: 0.7,
+        ..NbParams::paper_default()
+    };
+    let list = PairList::build(&sys, 0.7, ListKind::Half);
+    let mut r = sys.clone();
+    r.clear_forces();
+    compute_forces_half(&mut r, &list, &params);
+    // Average force magnitude on ions should comfortably exceed that on
+    // water hydrogens (full +-1 e charges vs +-0.41).
+    let n_water_atoms = 300 * 3;
+    let ion_mean: f32 = r.force[n_water_atoms..]
+        .iter()
+        .map(|f| f.norm())
+        .sum::<f32>()
+        / 24.0;
+    assert!(ion_mean > 0.0);
+    assert!(r.force[n_water_atoms..].iter().all(|f| f.norm().is_finite()));
+}
