@@ -12,7 +12,12 @@ fn bench_kernels(c: &mut Criterion) {
     let cg = CoreGroup::new();
     let mut g = c.benchmark_group("force_kernels_3k");
     g.sample_size(10);
-    for cfg in [RmaConfig::PKG, RmaConfig::CACHE, RmaConfig::VEC, RmaConfig::MARK] {
+    for cfg in [
+        RmaConfig::PKG,
+        RmaConfig::CACHE,
+        RmaConfig::VEC,
+        RmaConfig::MARK,
+    ] {
         g.bench_function(cfg.name(), |b| {
             b.iter(|| run_rma(&w.psys, &w.half, &w.params, &cg, cfg).energies)
         });

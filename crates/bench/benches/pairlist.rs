@@ -21,7 +21,11 @@ fn bench_pairlist(c: &mut Criterion) {
         b.iter(|| PairList::build(&sys, 1.0, ListKind::Half).n_pairs())
     });
     g.bench_function("cpe_generation_2way", |b| {
-        b.iter(|| generate_pairlist(&sys, 1.0, ListKind::Half, &cg, 2).list.n_pairs())
+        b.iter(|| {
+            generate_pairlist(&sys, 1.0, ListKind::Half, &cg, 2)
+                .list
+                .n_pairs()
+        })
     });
     g.finish();
 }

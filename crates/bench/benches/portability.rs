@@ -8,7 +8,9 @@ use swgmx::portable::{run_host_parallel, WriteStrategy};
 
 fn bench_portability(c: &mut Criterion) {
     let w = water_workload(12_000, 13);
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
     let mut g = c.benchmark_group("host_write_strategies");
     g.sample_size(10);
     for strategy in WriteStrategy::ALL {

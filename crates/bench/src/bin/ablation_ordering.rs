@@ -33,8 +33,7 @@ fn main() {
         ("morton", CellOrder::Morton),
         ("hilbert", CellOrder::Hilbert),
     ] {
-        let clustering =
-            Clustering::build_ordered(&sys.pbc, &sys.pos, params.r_cut, order);
+        let clustering = Clustering::build_ordered(&sys.pbc, &sys.pos, params.r_cut, order);
         let list = PairList::build_with_clustering(
             &sys.pbc,
             &sys.pos,
@@ -45,7 +44,12 @@ fn main() {
         let psys = PackedSystem::build(&sys, clustering, PackageLayout::Transposed);
         let cpe = CpePairList::build(&sys, &list);
         let out = run_rma(&psys, &cpe, &params, &cg, RmaConfig::MARK);
-        rows.push((name, out.read_miss_ratio, out.write_miss_ratio, out.total.cycles));
+        rows.push((
+            name,
+            out.read_miss_ratio,
+            out.write_miss_ratio,
+            out.total.cycles,
+        ));
     }
     let morton_cycles = rows[1].3;
     println!(

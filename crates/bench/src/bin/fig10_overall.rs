@@ -21,10 +21,7 @@ fn main() {
     let paper_case1 = [1.0, 20.0, 30.0, 32.0];
     let paper_case2 = [1.0, 6.0, 8.0, 18.0];
 
-    for (case, n, ranks, paper) in [
-        (1, n1, 1usize, paper_case1),
-        (2, n2, 512, paper_case2),
-    ] {
+    for (case, n, ranks, paper) in [(1, n1, 1usize, paper_case1), (2, n2, 512, paper_case2)] {
         println!("\n--- Case {case}: {n} particles, {ranks} CG(s) ---");
         println!("{:<8} {:>8} {:>10}", "version", "paper", "measured");
         let mut t_ori = None;

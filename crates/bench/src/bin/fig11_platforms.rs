@@ -48,7 +48,13 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let n = if quick { 12_000 } else { 48_000 };
     let w = water_workload(n, 3);
-    let mark = run_rma(&w.psys, &w.half, &w.params, &CoreGroup::new(), RmaConfig::MARK);
+    let mark = run_rma(
+        &w.psys,
+        &w.half,
+        &w.params,
+        &CoreGroup::new(),
+        RmaConfig::MARK,
+    );
     let measured_miss = 0.5 * (mark.read_miss_ratio + mark.write_miss_ratio);
     println!(
         "\nwith our measured software-cache miss ratio ({:.1}%):",

@@ -28,7 +28,10 @@ fn main() {
 
     // Strong: fixed 48 K particles.
     println!("\n--- strong scaling (48 K particles total) ---");
-    println!("{:>6} {:>12} {:>12} {:>10}", "CGs", "paper eff", "model eff", "speedup");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10}",
+        "CGs", "paper eff", "model eff", "speedup"
+    );
     let t4 = time_per_step(48_000, 4, steps, 31);
     for (i, &ranks) in ranks_list.iter().enumerate() {
         let tn = if ranks == 4 {

@@ -33,15 +33,21 @@ fn main() {
     } else {
         (2_000, 5_000, 100)
     };
-    println!("workload: {} water molecules, {} steps, sampled every {}", n_mol, n_steps, sample);
+    println!(
+        "workload: {} water molecules, {} steps, sampled every {}",
+        n_mol, n_steps, sample
+    );
 
     let sys0 = mdsim::water::water_box_equilibrated(n_mol, 300.0, 77);
 
     // Optimized path: the full engine (Mark kernel on the simulated CG).
-    let mut opt = Engine::new(sys0.clone(), EngineConfig {
-        nstxout: 0,
-        ..EngineConfig::paper(Version::Other)
-    });
+    let mut opt = Engine::new(
+        sys0.clone(),
+        EngineConfig {
+            nstxout: 0,
+            ..EngineConfig::paper(Version::Other)
+        },
+    );
     let mut opt_trace = Trace {
         steps: vec![],
         energy: vec![],

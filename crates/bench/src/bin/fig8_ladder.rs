@@ -41,7 +41,12 @@ fn main() {
             t_ori / naive.total.cycles as f64
         );
         let mut measured = Vec::new();
-        for cfg in [RmaConfig::PKG, RmaConfig::CACHE, RmaConfig::VEC, RmaConfig::MARK] {
+        for cfg in [
+            RmaConfig::PKG,
+            RmaConfig::CACHE,
+            RmaConfig::VEC,
+            RmaConfig::MARK,
+        ] {
             let r = run_rma(&w.psys, &w.half, &w.params, &cg, cfg);
             let speedup = t_ori / r.total.cycles as f64;
             measured.push((cfg.name(), speedup, r));
@@ -49,8 +54,10 @@ fn main() {
         }
         println!("{line}");
         if si == 0 {
-            println!("\n  paper (12K row):   Ori 1, Pkg {}, Cache {}, Vec {}, Mark {}",
-                paper[0].1[0], paper[1].1[0], paper[2].1[0], paper[3].1[0]);
+            println!(
+                "\n  paper (12K row):   Ori 1, Pkg {}, Cache {}, Vec {}, Mark {}",
+                paper[0].1[0], paper[1].1[0], paper[2].1[0], paper[3].1[0]
+            );
             let mark = &measured[3].2;
             println!(
                 "  Mark diagnostics: read miss {:.1}%, write miss {:.1}%, \

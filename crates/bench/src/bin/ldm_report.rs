@@ -15,7 +15,12 @@ fn main() {
         .map(|s| s.parse().expect("package count"))
         .unwrap_or(16_000);
     println!("(backing copy sized for {n_pkg} packages)\n");
-    for cfg in [RmaConfig::PKG, RmaConfig::CACHE, RmaConfig::VEC, RmaConfig::MARK] {
+    for cfg in [
+        RmaConfig::PKG,
+        RmaConfig::CACHE,
+        RmaConfig::VEC,
+        RmaConfig::MARK,
+    ] {
         print!("{}", format_budget(&rma_budget(cfg, n_pkg)));
         println!();
     }

@@ -25,10 +25,7 @@ fn print_breakdown(title: &str, rows: &[(&str, f64)], breakdown: &sw26010::Break
         println!("{label:<22} {paper:>9.1} {measured:>11.1}");
     }
     // Any rows we produce that the paper lumps under "Rest".
-    let named: f64 = rows
-        .iter()
-        .map(|(l, _)| breakdown.cycles(l) as f64)
-        .sum();
+    let named: f64 = rows.iter().map(|(l, _)| breakdown.cycles(l) as f64).sum();
     println!(
         "{:<22} {:>9} {:>11.1}",
         "(other rows)",

@@ -28,7 +28,10 @@ fn main() {
         "Table 2 — DMA bandwidth vs access size",
         "simulated bandwidth of back-to-back transfers at each size",
     );
-    println!("{:>12} {:>14} {:>14}", "size (B)", "paper (GB/s)", "model (GB/s)");
+    println!(
+        "{:>12} {:>14} {:>14}",
+        "size (B)", "paper (GB/s)", "model (GB/s)"
+    );
     for &(size, paper) in &DMA_BANDWIDTH_TABLE {
         println!("{:>12} {:>14.2} {:>14.2}", size, paper, achieved_gbs(size));
     }
@@ -40,7 +43,11 @@ fn main() {
         ("8-package cache line", 640),
         ("force cache line", 384),
     ] {
-        println!("{:>24} ({size:>4} B): {:>6.2} GB/s", what, achieved_gbs(size));
+        println!(
+            "{:>24} ({size:>4} B): {:>6.2} GB/s",
+            what,
+            achieved_gbs(size)
+        );
     }
     let pkg = achieved_gbs(80) / achieved_gbs(8);
     println!(

@@ -40,7 +40,11 @@ pub fn water_workload(n_particles: usize, seed: u64) -> Workload {
     };
     let half_list = PairList::build(&sys, rlist, ListKind::Half);
     let full_list = PairList::build(&sys, rlist, ListKind::Full);
-    let psys = PackedSystem::build(&sys, half_list.clustering.clone(), PackageLayout::Transposed);
+    let psys = PackedSystem::build(
+        &sys,
+        half_list.clustering.clone(),
+        PackageLayout::Transposed,
+    );
     let half = CpePairList::build(&sys, &half_list);
     let full = CpePairList::build(&sys, &full_list);
     Workload {
@@ -62,7 +66,11 @@ pub fn header(title: &str, what: &str) {
 
 /// Print one `name | paper | measured` row with a ratio note.
 pub fn row(name: &str, paper: f64, measured: f64) {
-    let rel = if paper != 0.0 { measured / paper } else { f64::NAN };
+    let rel = if paper != 0.0 {
+        measured / paper
+    } else {
+        f64::NAN
+    };
     println!("{name:<28} paper {paper:>9.2}   measured {measured:>9.2}   (x{rel:>5.2} of paper)");
 }
 

@@ -1,0 +1,223 @@
+//! Checker integration: traced kernel runs and per-variant contracts.
+//!
+//! The `swcheck` binary (crate `swcheck`) validates every kernel variant
+//! against the substrate's invariants by replaying the event stream a
+//! run emits. This module is the kernel side of that bargain: it names
+//! the shared-memory regions the kernels write (so addressed DMA and
+//! direct-write annotations agree on an address space), declares what
+//! each variant is *allowed* to do (its [`KernelContract`] — the
+//! gld-naive baseline is gld-bound by design, so gld on a hot path is
+//! not a defect *there*), and runs any variant under a capture session.
+
+use mdsim::nonbonded::NbParams;
+use mdsim::pairlist::{ListKind, PairList};
+use mdsim::water::water_box;
+use sw26010::trace::{self, Event, RegionId};
+use sw26010::CoreGroup;
+
+use crate::cpelist::CpePairList;
+use crate::kernels::{run_gld_naive, run_ori, run_rca, run_rma, run_ustc, RmaConfig};
+use crate::package::{PackageLayout, PackedSystem};
+
+/// Region: the packed particle positions (`PackedSystem::pos`).
+pub const REGION_POS: RegionId = 1;
+/// Region: the per-CPE redundant force copies, laid out end to end
+/// (copy of CPE `c` starts at word `c * n_pkg * FORCE_WORDS`).
+pub const REGION_COPIES: RegionId = 2;
+/// Region: the final slot-ordered force array.
+pub const REGION_FORCES: RegionId = 3;
+
+/// What a kernel variant is allowed to do, consumed by the `swcheck`
+/// lint pass. Everything not explicitly allowed is a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelContract {
+    /// Variant name as reported in diagnostics.
+    pub name: &'static str,
+    /// gld/gst on a CPE hot path is acceptable (only for baselines whose
+    /// point is gld cost; optimized kernels have cache equivalents).
+    pub allow_gld: bool,
+    /// Sub-package (< 32 B) DMA granularity is acceptable (only for the
+    /// Pkg ablation rung, whose per-pair 12 B RMW is the cost §3.2
+    /// eliminates).
+    pub allow_subpackage_dma: bool,
+    /// The run is expected to produce Bit-Map mark events.
+    pub expects_marks: bool,
+}
+
+impl KernelContract {
+    /// The strictest contract: no gld, package-granularity DMA only.
+    /// Used for fixtures and as the base for optimized kernels.
+    pub const fn strict(name: &'static str) -> Self {
+        Self {
+            name,
+            allow_gld: false,
+            allow_subpackage_dma: false,
+            expects_marks: false,
+        }
+    }
+}
+
+/// The five kernel variants `swcheck` exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// MPE-serial original port.
+    Ori,
+    /// Naive CPE port, per-element gld/gst.
+    GldNaive,
+    /// The paper's full RMA ladder endpoint (`RmaConfig::MARK`).
+    Rma,
+    /// Full-list redundant-compute baseline (SW_LAMMPS strategy).
+    Rca,
+    /// CPE-compute / MPE-apply pipeline baseline.
+    Ustc,
+}
+
+impl Variant {
+    /// All five variants in ladder order.
+    pub const ALL: [Variant; 5] = [
+        Variant::Ori,
+        Variant::GldNaive,
+        Variant::Rma,
+        Variant::Rca,
+        Variant::Ustc,
+    ];
+
+    /// CLI/diagnostic name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Variant::Ori => "ori",
+            Variant::GldNaive => "gldnaive",
+            Variant::Rma => "rma",
+            Variant::Rca => "rca",
+            Variant::Ustc => "ustc",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        Variant::ALL.iter().copied().find(|v| v.name() == s)
+    }
+
+    /// The invariant contract this variant runs under.
+    pub fn contract(&self) -> KernelContract {
+        match self {
+            // The MPE is a conventional cached core: no gld model at all.
+            Variant::Ori => KernelContract::strict("ori"),
+            // gld cost is this baseline's entire point.
+            Variant::GldNaive => KernelContract {
+                allow_gld: true,
+                ..KernelContract::strict("gldnaive")
+            },
+            Variant::Rma => KernelContract {
+                expects_marks: true,
+                ..KernelContract::strict("rma")
+            },
+            Variant::Rca => KernelContract::strict("rca"),
+            Variant::Ustc => KernelContract::strict("ustc"),
+        }
+    }
+}
+
+/// A kernel run captured for checking.
+#[derive(Debug)]
+pub struct TracedRun {
+    /// Contract of the variant that ran.
+    pub contract: KernelContract,
+    /// Every event the run emitted, in capture order.
+    pub events: Vec<Event>,
+    /// Simulated cycles of the run (sanity signal for reports).
+    pub cycles: u64,
+}
+
+/// Run `variant` on a seeded water box of `n_mol` molecules under a
+/// trace capture session and return the event stream plus contract.
+pub fn run_traced(variant: Variant, n_mol: usize, seed: u64) -> TracedRun {
+    let r_cut = 0.7f32;
+    let sys = water_box(n_mol, 300.0, seed);
+    let params = NbParams {
+        r_cut,
+        ..NbParams::paper_default()
+    };
+    let kind = match variant {
+        Variant::Rca => ListKind::Full,
+        _ => ListKind::Half,
+    };
+    let list = PairList::build(&sys, r_cut, kind);
+    let cpe = CpePairList::build(&sys, &list);
+    let layout = match variant {
+        Variant::Rma => PackageLayout::Transposed,
+        _ => PackageLayout::Interleaved,
+    };
+    let psys = PackedSystem::build(&sys, list.clustering.clone(), layout);
+    let cg = CoreGroup::new();
+
+    let session = trace::Session::begin();
+    let result = match variant {
+        Variant::Ori => run_ori(&psys, &cpe, &params, &cg),
+        Variant::GldNaive => run_gld_naive(&psys, &cpe, &params, &cg),
+        Variant::Rma => run_rma(&psys, &cpe, &params, &cg, RmaConfig::MARK),
+        Variant::Rca => run_rca(&psys, &cpe, &params, &cg),
+        Variant::Ustc => run_ustc(&psys, &cpe, &params, &cg),
+    };
+    let events = session.finish();
+    TracedRun {
+        contract: variant.contract(),
+        events,
+        cycles: result.total.cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_names_round_trip() {
+        for v in Variant::ALL {
+            assert_eq!(Variant::from_name(v.name()), Some(v));
+        }
+        assert_eq!(Variant::from_name("nope"), None);
+    }
+
+    #[test]
+    fn contracts_encode_the_baselines() {
+        assert!(Variant::GldNaive.contract().allow_gld);
+        assert!(!Variant::Rma.contract().allow_gld);
+        assert!(Variant::Rma.contract().expects_marks);
+    }
+
+    #[test]
+    fn traced_rma_run_emits_marks_dma_and_phases() {
+        let run = run_traced(Variant::Rma, 200, 3);
+        assert!(run.cycles > 0);
+        assert!(run
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::MarkSet { .. })));
+        assert!(run
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::ReduceLine { .. })));
+        assert!(run.events.iter().any(|e| matches!(
+            e,
+            Event::Dma {
+                region: Some(REGION_POS),
+                aligned: true,
+                ..
+            }
+        )));
+        assert!(run.events.iter().any(|e| matches!(e, Event::Phase { .. })));
+        // The optimized kernel never touches the gld port.
+        assert!(!run.events.iter().any(|e| matches!(e, Event::Gld { .. })));
+    }
+
+    #[test]
+    fn traced_gldnaive_run_is_gld_bound_by_contract() {
+        let run = run_traced(Variant::GldNaive, 200, 3);
+        assert!(run.contract.allow_gld);
+        assert!(run
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Gld { cpe: Some(_), .. })));
+    }
+}

@@ -178,8 +178,7 @@ mod tests {
     fn shifts_realize_minimum_image() {
         use crate::package::{PackageLayout, PackedSystem};
         let (sys, list, cpe) = setup();
-        let psys =
-            PackedSystem::build(&sys, list.clustering.clone(), PackageLayout::Interleaved);
+        let psys = PackedSystem::build(&sys, list.clustering.clone(), PackageLayout::Interleaved);
         let mut entry = 0;
         let mut checked = 0u32;
         for ci in 0..list.n_clusters() {
@@ -194,12 +193,9 @@ mod tests {
                         }
                         let (xa, ya, za, ..) = psys.read_particle(psys.package(ci), ai);
                         let (xb, yb, zb, ..) = psys.read_particle(psys.package(cj), bj);
-                        let d_kernel = mdsim::vec3(
-                            xa - (xb + s[0]),
-                            ya - (yb + s[1]),
-                            za - (zb + s[2]),
-                        )
-                        .norm();
+                        let d_kernel =
+                            mdsim::vec3(xa - (xb + s[0]), ya - (yb + s[1]), za - (zb + s[2]))
+                                .norm();
                         let a = list.clustering.members(ci)[ai] as usize;
                         let b = list.clustering.members(cj)[bj] as usize;
                         let d_ref = sys.pbc.min_image(sys.pos[a], sys.pos[b]).norm();

@@ -153,7 +153,13 @@ impl Engine {
     /// boxes (>= 12 K particles at the paper's 1.0 nm cutoff) are never
     /// clamped.
     pub fn new(sys: System, mut config: EngineConfig) -> Self {
-        let max_r = 0.3 * sys.pbc.lengths().x.min(sys.pbc.lengths().y).min(sys.pbc.lengths().z);
+        let max_r = 0.3
+            * sys
+                .pbc
+                .lengths()
+                .x
+                .min(sys.pbc.lengths().y)
+                .min(sys.pbc.lengths().z);
         if config.rlist > max_r {
             config.rlist = max_r;
         }
@@ -209,8 +215,13 @@ impl Engine {
     fn rebuild_list(&mut self) {
         let v = self.config.version;
         if matches!(v, Version::List | Version::Other) {
-            let gen =
-                pairgen::generate_pairlist(&self.sys, self.config.rlist, ListKind::Half, &self.cg, 2);
+            let gen = pairgen::generate_pairlist(
+                &self.sys,
+                self.config.rlist,
+                ListKind::Half,
+                &self.cg,
+                2,
+            );
             self.breakdown.add("Neighbor search", gen.perf);
             self.list = Some(gen.list);
         } else {
@@ -252,7 +263,13 @@ impl Engine {
         // --- short-range force.
         let result: KernelResult = match self.config.version {
             Version::Ori => run_ori(&psys, &cpelist, &self.config.params, &self.cg),
-            _ => run_rma(&psys, &cpelist, &self.config.params, &self.cg, RmaConfig::MARK),
+            _ => run_rma(
+                &psys,
+                &cpelist,
+                &self.config.params,
+                &self.cg,
+                RmaConfig::MARK,
+            ),
         };
         self.breakdown.add("Force", result.total);
         self.energies = result.energies;
@@ -465,7 +482,8 @@ impl MultiCgModel {
             // MPE and cannot overlap).
             let halo_particles = self.halo_estimate(per_rank);
             let halo_bytes = halo_particles * 12;
-            let halo_full = 2.0 * swnet::halo_exchange_ns(&self.net, &topo, transport, 6, halo_bytes);
+            let halo_full =
+                2.0 * swnet::halo_exchange_ns(&self.net, &topo, transport, 6, halo_bytes);
             let sw_per_msg = match transport {
                 Transport::Mpi => self.net.mpi_sw_overhead_ns,
                 Transport::Rdma => self.net.rdma_sw_overhead_ns,
@@ -548,7 +566,14 @@ mod tests {
         let mut e = Engine::new(sys, EngineConfig::paper(Version::Other));
         e.run(3);
         let rows: Vec<&str> = e.breakdown.iter().map(|(l, _)| l).collect();
-        for want in ["Neighbor search", "Force", "NB X/F buffer ops", "Update", "Constraints", "Write traj"] {
+        for want in [
+            "Neighbor search",
+            "Force",
+            "NB X/F buffer ops",
+            "Update",
+            "Constraints",
+            "Write traj",
+        ] {
             assert!(rows.contains(&want), "missing row {want}: {rows:?}");
         }
     }
@@ -585,12 +610,15 @@ mod tests {
         // bonds/angles appear as the "Bonded" row (Fig. 1's "Bound"
         // interactions) and exert restoring forces.
         let sys = mdsim::water::water_box_equilibrated(100, 300.0, 106);
-        let mut e = Engine::new(sys, EngineConfig {
-            constraints: false,
-            dt: 0.0002, // flexible OH bonds need a ~0.2 fs step
-            nstxout: 0,
-            ..EngineConfig::paper(Version::Other)
-        });
+        let mut e = Engine::new(
+            sys,
+            EngineConfig {
+                constraints: false,
+                dt: 0.0002, // flexible OH bonds need a ~0.2 fs step
+                nstxout: 0,
+                ..EngineConfig::paper(Version::Other)
+            },
+        );
         for _ in 0..5 {
             e.step();
         }
@@ -598,20 +626,30 @@ mod tests {
         assert_eq!(e.breakdown.cycles("Constraints"), 0);
         // Geometry stays near equilibrium under the stiff bonds.
         let cs = ConstraintSet::rigid_water(&e.sys, D_OH, theta_hoh());
-        assert!(cs.max_violation(&e.sys) < 0.1, "{}", cs.max_violation(&e.sys));
+        assert!(
+            cs.max_violation(&e.sys) < 0.1,
+            "{}",
+            cs.max_violation(&e.sys)
+        );
     }
 
     #[test]
     fn pme_engine_adds_long_range_energy() {
         let sys = mdsim::water::water_box_equilibrated(300, 300.0, 105);
-        let mut plain = Engine::new(sys.clone(), EngineConfig {
-            nstxout: 0,
-            ..EngineConfig::paper(Version::Other)
-        });
-        let mut with_pme = Engine::new(sys, EngineConfig {
-            nstxout: 0,
-            ..EngineConfig::paper_with_pme(Version::Other, 32)
-        });
+        let mut plain = Engine::new(
+            sys.clone(),
+            EngineConfig {
+                nstxout: 0,
+                ..EngineConfig::paper(Version::Other)
+            },
+        );
+        let mut with_pme = Engine::new(
+            sys,
+            EngineConfig {
+                nstxout: 0,
+                ..EngineConfig::paper_with_pme(Version::Other, 32)
+            },
+        );
         let e_plain = plain.step();
         let e_pme = with_pme.step();
         // Same short-range pairs; PME adds the (negative) reciprocal +
@@ -651,8 +689,6 @@ mod tests {
     fn rdma_version_communicates_faster() {
         let mpi = MultiCgModel::new(24_000, 16, Version::List).run(2, 7);
         let rdma = MultiCgModel::new(24_000, 16, Version::Other).run(2, 7);
-        assert!(
-            rdma.breakdown.cycles("Comm. energies") < mpi.breakdown.cycles("Comm. energies")
-        );
+        assert!(rdma.breakdown.cycles("Comm. energies") < mpi.breakdown.cycles("Comm. energies"));
     }
 }

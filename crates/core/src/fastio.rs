@@ -264,10 +264,7 @@ mod tests {
             let got: f64 = fmt(v, 3).parse().unwrap();
             let want: f64 = format!("{v:.3}").parse().unwrap();
             // Allow a half-ulp disagreement in the final digit (ties).
-            assert!(
-                (got - want).abs() <= 0.001 + 1e-9,
-                "v={v}: {got} vs {want}"
-            );
+            assert!((got - want).abs() <= 0.001 + 1e-9, "v={v}: {got} vs {want}");
         }
     }
 
@@ -286,7 +283,10 @@ mod tests {
         }
         let flushes_before_end = w.flushes;
         let inner = w.into_inner().unwrap();
-        assert!(flushes_before_end <= 1, "flushed {flushes_before_end} times");
+        assert!(
+            flushes_before_end <= 1,
+            "flushed {flushes_before_end} times"
+        );
         let text = String::from_utf8(inner).unwrap();
         assert_eq!(text.lines().count(), 100);
         assert!(text.starts_with("0.000\n1.000\n"));

@@ -149,7 +149,9 @@ mod tests {
         let mut r = sys.clone();
         r.clear_forces();
         let en_ref = mdsim::bonded::compute_bonded(&mut r);
-        assert!((out.energies.total() - en_ref.total()).abs() < 1e-6 * en_ref.total().abs().max(1.0));
+        assert!(
+            (out.energies.total() - en_ref.total()).abs() < 1e-6 * en_ref.total().abs().max(1.0)
+        );
         let fmax = r.force.iter().map(|f| f.norm()).fold(0.0f32, f32::max);
         for (a, b) in out.forces.iter().zip(&r.force) {
             assert!((*a - *b).norm() <= 1e-4 * fmax.max(1.0));

@@ -311,7 +311,12 @@ mod tests {
         }
         assert!(checked > 1000, "too few interactions checked: {checked}");
         // SIMD path issues far fewer instructions overall.
-        assert!(perf_v.cycles < perf_s.cycles, "{} vs {}", perf_v.cycles, perf_s.cycles);
+        assert!(
+            perf_v.cycles < perf_s.cycles,
+            "{} vs {}",
+            perf_v.cycles,
+            perf_s.cycles
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@ use sw26010::cg::CoreGroup;
 use sw26010::dma::{Dir, DmaEngine};
 use sw26010::perf::{Breakdown, PerfCounters};
 
+use crate::check::{REGION_FORCES, REGION_POS};
 use crate::cpelist::CpePairList;
 use crate::kernels::common::{cluster_pair_scalar, KernelResult};
 use crate::package::{PackedSystem, FORCE_BYTES, FORCE_WORDS, PKG_WORDS};
@@ -39,15 +40,14 @@ pub fn run_rca(
             .expect("read cache fits LDM");
         ctx.ldm.reserve("list buffer", 2048).expect("list buffer");
         let mut read_cache = ReadCache::new(pkg_geo);
+        read_cache.bind_region(REGION_POS, 0);
         let mut forces: Vec<(usize, [f32; FORCE_WORDS])> = Vec::new();
         let mut e_lj = 0.0f64;
         let mut e_coul = 0.0f64;
         let mut n_pairs = 0u64;
         for ci in cg.block_range(n_pkg, ctx.id) {
             let pkg_i = read_cache.get(&mut ctx.perf, &psys.pos, ci).to_vec();
-            DmaEngine::transfer_shared(&mut ctx.perf,
-                Dir::Get,
-                list.stream_bytes(ci), true);
+            DmaEngine::transfer_shared(&mut ctx.perf, Dir::Get, list.stream_bytes(ci), true);
             let mut fi = [0.0f32; FORCE_WORDS];
             for e in list.entries_of(ci) {
                 let cj = list.neighbors[e] as usize;
@@ -71,7 +71,13 @@ pub fn run_rca(
                 n_pairs += n as u64;
             }
             // One conflict-free put per outer cluster.
-            DmaEngine::transfer_shared(&mut ctx.perf, Dir::Put, FORCE_BYTES, true);
+            DmaEngine::transfer_shared_at(
+                &mut ctx.perf,
+                Dir::Put,
+                REGION_FORCES,
+                ci * FORCE_BYTES,
+                FORCE_BYTES,
+            );
             forces.push((ci, fi));
         }
         (forces, e_lj, e_coul, n_pairs, read_cache.stats())
@@ -141,7 +147,12 @@ mod tests {
         // RCA evaluates each pair twice.
         assert_eq!(out.energies.pairs_within_cutoff, 2 * en.pairs_within_cutoff);
         let rel = (out.energies.total() - en.total()).abs() / en.total().abs();
-        assert!(rel < 1e-5, "energy {} vs {}", out.energies.total(), en.total());
+        assert!(
+            rel < 1e-5,
+            "energy {} vs {}",
+            out.energies.total(),
+            en.total()
+        );
         let fmax = r.force.iter().map(|f| f.norm()).fold(0.0f32, f32::max);
         assert!(max_force_diff(&out.forces, &r.force) / fmax < 1e-3);
     }

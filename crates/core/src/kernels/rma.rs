@@ -23,10 +23,9 @@ use sw26010::dma::{Dir, DmaEngine};
 use sw26010::perf::{Breakdown, PerfCounters};
 use sw26010::BitMap;
 
+use crate::check::{REGION_COPIES, REGION_FORCES, REGION_POS};
 use crate::cpelist::CpePairList;
-use crate::kernels::common::{
-    add_energy, cluster_pair_scalar, cluster_pair_simd, KernelResult,
-};
+use crate::kernels::common::{add_energy, cluster_pair_scalar, cluster_pair_simd, KernelResult};
 use crate::package::{PackedSystem, FORCE_WORDS, PKG_BYTES, PKG_WORDS};
 
 /// Configuration selecting a ladder rung (or any ablation combination).
@@ -87,6 +86,7 @@ impl RmaConfig {
 struct CpeOut {
     copy: Vec<f32>,
     marks: Option<BitMap>,
+    wc_id: Option<u64>,
     e_lj: f64,
     e_coul: f64,
     n_pairs: u64,
@@ -107,8 +107,11 @@ pub fn run_rma(
 ) -> KernelResult {
     assert_eq!(list.kind, ListKind::Half, "RMA kernels walk a half list");
     let n_pkg = psys.n_packages();
-    let copy_words = n_pkg * FORCE_WORDS;
     let force_geo = CacheGeometry::paper_default(FORCE_WORDS);
+    // Each per-CPE copy is padded to a whole number of write-cache lines:
+    // the tail line's writeback is a full-line DMA, and without padding it
+    // would stomp the next CPE's copy (swcheck SWC101 catches exactly this).
+    let copy_stride = n_pkg.div_ceil(force_geo.line_elems) * force_geo.line_words();
     let pkg_geo = CacheGeometry::paper_default(PKG_WORDS);
     let mut phases = Breakdown::new();
 
@@ -118,11 +121,19 @@ pub fn run_rma(
             // Each CPE streams zeros over its whole copy at contended
             // bandwidth, in cache-line-sized puts.
             let line_bytes = force_geo.line_bytes();
-            let mut remaining = copy_words * 4;
-            while remaining > 0 {
-                let sz = remaining.min(line_bytes);
-                DmaEngine::transfer_shared(&mut ctx.perf, Dir::Put, sz, true);
-                remaining -= sz;
+            let base = ctx.id * copy_stride * 4;
+            let total = copy_stride * 4;
+            let mut off = 0;
+            while off < total {
+                let sz = (total - off).min(line_bytes);
+                DmaEngine::transfer_shared_at(
+                    &mut ctx.perf,
+                    Dir::Put,
+                    REGION_COPIES,
+                    base + off,
+                    sz,
+                );
+                off += sz;
             }
         });
         phases.add("init", init.region);
@@ -131,28 +142,33 @@ pub fn run_rma(
     // ---- calculation phase ----
     let calc = cg.spawn(|ctx| {
         // LDM budget: caches + accumulators + list stream buffer.
+        let copy_base_words = ctx.id * copy_stride;
         let mut read_cache = cfg.read_cache.then(|| {
             ctx.ldm
                 .reserve("read cache", pkg_geo.ldm_bytes())
                 .expect("read cache fits LDM");
-            ReadCache::new(pkg_geo)
+            let mut rc = ReadCache::new(pkg_geo);
+            rc.bind_region(REGION_POS, 0);
+            rc
         });
         let mut write_cache = cfg.write_cache.then(|| {
             ctx.ldm
                 .reserve("write cache", force_geo.ldm_bytes())
                 .expect("write cache fits LDM");
-            if cfg.marks {
+            let mut wc = if cfg.marks {
                 WriteCache::with_marks(force_geo, n_pkg)
             } else {
                 WriteCache::new(force_geo)
-            }
+            };
+            wc.bind_region(REGION_COPIES, copy_base_words);
+            wc
         });
         ctx.ldm.reserve("list buffer", 2048).expect("list buffer");
         ctx.ldm
             .reserve_array::<f32>("accumulators", 2 * FORCE_WORDS)
             .expect("accumulators");
 
-        let mut copy = vec![0.0f32; copy_words];
+        let mut copy = vec![0.0f32; copy_stride];
         let mut direct_marks = cfg.marks.then(|| BitMap::new(n_pkg.div_ceil(8)));
         let mut e_lj = 0.0f64;
         let mut e_coul = 0.0f64;
@@ -165,16 +181,12 @@ pub fn run_rma(
             let pkg_i: Vec<f32> = match read_cache.as_mut() {
                 Some(rc) => rc.get(&mut ctx.perf, &psys.pos, ci).to_vec(),
                 None => {
-                    DmaEngine::transfer_shared(&mut ctx.perf,
-                        Dir::Get,
-                        PKG_BYTES, true);
+                    DmaEngine::transfer_shared(&mut ctx.perf, Dir::Get, PKG_BYTES, true);
                     psys.package(ci).to_vec()
                 }
             };
             // Stream this cluster's slice of the pair list.
-            DmaEngine::transfer_shared(&mut ctx.perf,
-                Dir::Get,
-                list.stream_bytes(ci), true);
+            DmaEngine::transfer_shared(&mut ctx.perf, Dir::Get, list.stream_bytes(ci), true);
 
             let mut fi = [0.0f32; FORCE_WORDS];
             for e in list.entries_of(ci) {
@@ -182,9 +194,7 @@ pub fn run_rma(
                 let pkg_j: Vec<f32> = match read_cache.as_mut() {
                     Some(rc) => rc.get(&mut ctx.perf, &psys.pos, cj).to_vec(),
                     None => {
-                        DmaEngine::transfer_shared(&mut ctx.perf,
-                            Dir::Get,
-                            PKG_BYTES, true);
+                        DmaEngine::transfer_shared(&mut ctx.perf, Dir::Get, PKG_BYTES, true);
                         psys.package(cj).to_vec()
                     }
                 };
@@ -228,6 +238,7 @@ pub fn run_rma(
                         &mut write_cache,
                         &mut direct_marks,
                         &mut copy,
+                        copy_base_words,
                         cj,
                         &fj,
                         n as u64,
@@ -241,6 +252,7 @@ pub fn run_rma(
                 &mut write_cache,
                 &mut direct_marks,
                 &mut copy,
+                copy_base_words,
                 ci,
                 &fi,
                 4,
@@ -260,6 +272,7 @@ pub fn run_rma(
             };
             (rs, ws)
         };
+        let wc_id = write_cache.as_ref().map(|wc| wc.trace_id());
         let marks = match write_cache {
             Some(wc) => wc.marks().cloned(),
             None => direct_marks,
@@ -267,6 +280,7 @@ pub fn run_rma(
         CpeOut {
             copy,
             marks,
+            wc_id,
             e_lj,
             e_coul,
             n_pairs,
@@ -279,12 +293,25 @@ pub fn run_rma(
     // ---- reduction phase ----
     let copies: Vec<&Vec<f32>> = calc.results.iter().map(|o| &o.copy).collect();
     let mark_refs: Option<Vec<&BitMap>> = if cfg.marks {
-        Some(calc.results.iter().map(|o| o.marks.as_ref().unwrap()).collect())
+        Some(
+            calc.results
+                .iter()
+                .map(|o| o.marks.as_ref().unwrap())
+                .collect(),
+        )
     } else {
         None
     };
-    let (slot_forces, reduce_region) =
-        reduce_copies(cg, &copies, mark_refs.as_deref(), n_pkg, force_geo);
+    let wc_ids: Vec<u64> = calc.results.iter().filter_map(|o| o.wc_id).collect();
+    let cache_ids = (wc_ids.len() == copies.len()).then_some(wc_ids.as_slice());
+    let (slot_forces, reduce_region) = reduce_copies(
+        cg,
+        &copies,
+        mark_refs.as_deref(),
+        cache_ids,
+        n_pkg,
+        force_geo,
+    );
     phases.add("reduce", reduce_region);
 
     // ---- assemble result ----
@@ -334,10 +361,12 @@ fn ratio(misses: u64, hits: u64) -> f64 {
 /// contributions is a dependent 12 B read-modify-write round trip, which
 /// is "too frequent for the low bandwidth between MPE and CPEs" (§3.2)
 /// and is exactly the cost deferred update removes.
+#[allow(clippy::too_many_arguments)] // private helper mirroring Alg. 1's state
 fn update_force(
     write_cache: &mut Option<WriteCache>,
     direct_marks: &mut Option<BitMap>,
     copy: &mut [f32],
+    copy_base_words: usize,
     pkg: usize,
     delta: &[f32; FORCE_WORDS],
     n_updates: u64,
@@ -355,6 +384,11 @@ fn update_force(
             for (d, v) in copy[base..base + FORCE_WORDS].iter_mut().zip(delta) {
                 *d += v;
             }
+            sw26010::trace::shared_write(
+                REGION_COPIES,
+                copy_base_words + base,
+                copy_base_words + base + FORCE_WORDS,
+            );
             if let Some(m) = direct_marks {
                 m.set(pkg / 8);
             }
@@ -366,11 +400,15 @@ fn update_force(
 ///
 /// Lines are distributed across CPEs; with marks, only copy lines whose
 /// mark bit is set are fetched and added (`init_skips` on the gather
-/// side). Returns the summed array and the phase cost.
+/// side). `cache_ids` (when given, parallel to `copies`) are the trace
+/// ids of the write caches that produced the copies; each consumed line
+/// is reported to the checker so mark coverage can be audited. Returns
+/// the summed array and the phase cost.
 pub fn reduce_copies(
     cg: &CoreGroup,
     copies: &[&Vec<f32>],
     marks: Option<&[&BitMap]>,
+    cache_ids: Option<&[u64]>,
     n_pkg: usize,
     geo: CacheGeometry,
 ) -> (Vec<f32>, PerfCounters) {
@@ -378,6 +416,8 @@ pub fn reduce_copies(
     let n_lines = n_pkg.div_ceil(line_pkgs);
     let line_words = geo.line_words();
     let copy_words = n_pkg * FORCE_WORDS;
+    // Copies are padded to a whole number of lines (see `run_rma`).
+    let copy_stride = n_lines * line_words;
 
     let out = cg.spawn(|ctx| {
         ctx.ldm
@@ -395,18 +435,29 @@ pub fn reduce_copies(
                         continue; // Alg. 4 line 4: unmarked -> skip fetch
                     }
                 }
-                DmaEngine::transfer_shared(&mut ctx.perf,
+                if let Some(ids) = cache_ids {
+                    sw26010::trace::reduce_line(ids[c], line);
+                }
+                DmaEngine::transfer_shared_at(
+                    &mut ctx.perf,
                     Dir::Get,
-                    (word_hi - word_lo) * 4, true);
+                    REGION_COPIES,
+                    (c * copy_stride + word_lo) * 4,
+                    (word_hi - word_lo) * 4,
+                );
                 for (k, w) in (word_lo..word_hi).enumerate() {
                     partial[acc_base + k] += copy[w];
                 }
                 sw26010::simd::meter::simd_ops(&mut ctx.perf, (line_words as u64) / 4);
             }
             // One put of the reduced line to the final force array.
-            DmaEngine::transfer_shared(&mut ctx.perf,
+            DmaEngine::transfer_shared_at(
+                &mut ctx.perf,
                 Dir::Put,
-                (word_hi - word_lo) * 4, true);
+                REGION_FORCES,
+                word_lo * 4,
+                (word_hi - word_lo) * 4,
+            );
         }
         (line_range, partial)
     });
@@ -466,10 +517,18 @@ mod tests {
         let (f_ref, en_ref) = reference(&sys, &params);
         assert_eq!(out.energies.pairs_within_cutoff, en_ref.pairs_within_cutoff);
         let rel = (out.energies.total() - en_ref.total()).abs() / en_ref.total().abs();
-        assert!(rel < 1e-5, "{cfg:?}: energy {} vs {}", out.energies.total(), en_ref.total());
+        assert!(
+            rel < 1e-5,
+            "{cfg:?}: energy {} vs {}",
+            out.energies.total(),
+            en_ref.total()
+        );
         let fmax = f_ref.iter().map(|f| f.norm()).fold(0.0f32, f32::max);
         let diff = max_force_diff(&out.forces, &f_ref);
-        assert!(diff / fmax < 1e-3, "{cfg:?}: force diff {diff} (fmax {fmax})");
+        assert!(
+            diff / fmax < 1e-3,
+            "{cfg:?}: force diff {diff} (fmax {fmax})"
+        );
     }
 
     #[test]
@@ -524,8 +583,16 @@ mod tests {
         let (_, psys, cpe, params) = setup(800, 13);
         let cg = CoreGroup::new();
         let out = run_rma(&psys, &cpe, &params, &cg, RmaConfig::MARK);
-        assert!(out.read_miss_ratio < 0.15, "read miss {}", out.read_miss_ratio);
-        assert!(out.write_miss_ratio < 0.15, "write miss {}", out.write_miss_ratio);
+        assert!(
+            out.read_miss_ratio < 0.15,
+            "read miss {}",
+            out.read_miss_ratio
+        );
+        assert!(
+            out.write_miss_ratio < 0.15,
+            "write miss {}",
+            out.write_miss_ratio
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@ use sw26010::cg::CoreGroup;
 use sw26010::dma::{Dir, DmaEngine};
 use sw26010::perf::{Breakdown, PerfCounters};
 
+use crate::check::REGION_POS;
 use crate::cpelist::CpePairList;
 use crate::kernels::common::{cluster_pair_scalar, KernelResult};
 use crate::package::{PackedSystem, FORCE_WORDS, PKG_WORDS};
@@ -45,15 +46,14 @@ pub fn run_ustc(
             .reserve("record buffer", 4096)
             .expect("record buffer fits LDM");
         let mut read_cache = ReadCache::new(pkg_geo);
+        read_cache.bind_region(REGION_POS, 0);
         let mut records: Vec<(u32, [f32; FORCE_WORDS])> = Vec::new();
         let mut e_lj = 0.0f64;
         let mut e_coul = 0.0f64;
         let mut n_pairs = 0u64;
         for ci in cg.block_range(n_pkg, ctx.id) {
             let pkg_i = read_cache.get(&mut ctx.perf, &psys.pos, ci).to_vec();
-            DmaEngine::transfer_shared(&mut ctx.perf,
-                Dir::Get,
-                list.stream_bytes(ci), true);
+            DmaEngine::transfer_shared(&mut ctx.perf, Dir::Get, list.stream_bytes(ci), true);
             let mut fi = [0.0f32; FORCE_WORDS];
             for e in list.entries_of(ci) {
                 let cj = list.neighbors[e] as usize;
@@ -79,9 +79,7 @@ pub fn run_ustc(
                     }
                 } else {
                     // Ship the reaction update to the MPE queue.
-                    DmaEngine::transfer_shared(&mut ctx.perf,
-                        Dir::Put,
-                        RECORD_BYTES, true);
+                    DmaEngine::transfer_shared(&mut ctx.perf, Dir::Put, RECORD_BYTES, true);
                     records.push((cj as u32, fj));
                 }
             }
@@ -153,7 +151,10 @@ mod tests {
         let list = PairList::build(&sys, 0.7, ListKind::Half);
         let cpe = CpePairList::build(&sys, &list);
         let psys = PackedSystem::build(&sys, list.clustering.clone(), PackageLayout::Interleaved);
-        let params = NbParams { r_cut: 0.7, ..NbParams::paper_default() };
+        let params = NbParams {
+            r_cut: 0.7,
+            ..NbParams::paper_default()
+        };
         let out = run_ustc(&psys, &cpe, &params, &CoreGroup::new());
 
         let mut r = sys.clone();
@@ -170,7 +171,10 @@ mod tests {
         let list = PairList::build(&sys, 0.7, ListKind::Half);
         let cpe = CpePairList::build(&sys, &list);
         let psys = PackedSystem::build(&sys, list.clustering.clone(), PackageLayout::Interleaved);
-        let params = NbParams { r_cut: 0.7, ..NbParams::paper_default() };
+        let params = NbParams {
+            r_cut: 0.7,
+            ..NbParams::paper_default()
+        };
         let out = run_ustc(&psys, &cpe, &params, &CoreGroup::new());
         let cpe_c = out.phases.cycles("calc (CPE)");
         let mpe_c = out.phases.cycles("apply (MPE)");
@@ -184,7 +188,10 @@ mod tests {
         let list = PairList::build(&sys, 0.7, ListKind::Half);
         let cpe = CpePairList::build(&sys, &list);
         let psys = PackedSystem::build(&sys, list.clustering.clone(), PackageLayout::Transposed);
-        let params = NbParams { r_cut: 0.7, ..NbParams::paper_default() };
+        let params = NbParams {
+            r_cut: 0.7,
+            ..NbParams::paper_default()
+        };
         let cg = CoreGroup::new();
         let ustc = run_ustc(&psys, &cpe, &params, &cg);
         let mark = run_rma(&psys, &cpe, &params, &cg, RmaConfig::MARK);

@@ -138,7 +138,12 @@ mod tests {
     fn every_published_configuration_fits_the_ldm() {
         // Copy sizes up to the paper's 96 K-particle case 1 workload.
         for n_pkg in [4_000usize, 16_000, 40_000] {
-            for cfg in [RmaConfig::PKG, RmaConfig::CACHE, RmaConfig::VEC, RmaConfig::MARK] {
+            for cfg in [
+                RmaConfig::PKG,
+                RmaConfig::CACHE,
+                RmaConfig::VEC,
+                RmaConfig::MARK,
+            ] {
                 let b = rma_budget(cfg, n_pkg);
                 assert!(
                     b.fits(),
@@ -176,7 +181,12 @@ mod tests {
             .filter(|i| i.label.contains("cache"))
             .map(|i| i.bytes)
             .sum();
-        assert!(caches * 10 > b.total() * 8, "caches {} of {}", caches, b.total());
+        assert!(
+            caches * 10 > b.total() * 8,
+            "caches {} of {}",
+            caches,
+            b.total()
+        );
     }
 
     #[test]

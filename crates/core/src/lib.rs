@@ -37,7 +37,10 @@
 //!   formatter (§3.7)
 //! - [`platforms`] — the Table 4 / Eq. 3-4 TTF cross-platform model
 //!   (Fig. 11)
+//! - [`check`] — traced kernel runs + per-variant invariant contracts
+//!   for the `swcheck` checker
 
+pub mod check;
 pub mod cpelist;
 pub mod engine;
 pub mod fastio;
@@ -49,6 +52,7 @@ pub mod pairgen;
 pub mod platforms;
 pub mod portable;
 
+pub use check::{run_traced, KernelContract, TracedRun, Variant};
 pub use cpelist::CpePairList;
 pub use kernels::{run_ori, run_rca, run_rma, run_ustc, KernelResult, RmaConfig};
 pub use package::{PackageLayout, PackedSystem};

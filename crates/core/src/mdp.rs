@@ -71,9 +71,7 @@ pub fn parse_mdp(text: &str) -> Result<MdpOptions, String> {
                 config.params.coulomb = match value.to_ascii_lowercase().as_str() {
                     "pme" => Coulomb::EwaldShort { beta: 3.12 },
                     "cut-off" | "cutoff" => Coulomb::Cutoff,
-                    "reaction-field" | "reaction_field" => {
-                        Coulomb::ReactionField { eps_rf: 78.0 }
-                    }
+                    "reaction-field" | "reaction_field" => Coulomb::ReactionField { eps_rf: 78.0 },
                     other => return Err(format!("coulombtype: unsupported `{other}`")),
                 }
             }

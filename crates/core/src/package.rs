@@ -94,9 +94,7 @@ impl PackedSystem {
                         PackageLayout::Interleaved => {
                             c * PKG_WORDS + lane * WORDS_PER_PARTICLE + comp
                         }
-                        PackageLayout::Transposed => {
-                            c * PKG_WORDS + comp * CLUSTER_SIZE + lane
-                        }
+                        PackageLayout::Transposed => c * PKG_WORDS + comp * CLUSTER_SIZE + lane,
                     };
                     pos[idx] = v;
                 }
@@ -131,7 +129,13 @@ impl PackedSystem {
         match self.layout {
             PackageLayout::Interleaved => {
                 let b = lane * WORDS_PER_PARTICLE;
-                (pkg[b], pkg[b + 1], pkg[b + 2], pkg[b + 3] as usize, pkg[b + 4])
+                (
+                    pkg[b],
+                    pkg[b + 1],
+                    pkg[b + 2],
+                    pkg[b + 3] as usize,
+                    pkg[b + 4],
+                )
             }
             PackageLayout::Transposed => (
                 pkg[lane],
@@ -241,9 +245,7 @@ mod tests {
         let (_, p) = packed(PackageLayout::Transposed);
         let pkg = p.package(0);
         // First four words are the four x coordinates.
-        let xs: Vec<f32> = (0..4)
-            .map(|lane| p.read_particle(pkg, lane).0)
-            .collect();
+        let xs: Vec<f32> = (0..4).map(|lane| p.read_particle(pkg, lane).0).collect();
         assert_eq!(&pkg[0..4], xs.as_slice());
     }
 

@@ -185,29 +185,35 @@ fn run_atomics(
         for t in 0..n_threads {
             let shared = &shared;
             handles.push(s.spawn(move |_| {
-                compute_thread(psys, list, params, thread_range(n_pkg, n_threads, t), |pkg, delta| {
-                    let base = pkg * FORCE_WORDS;
-                    for (k, &d) in delta.iter().enumerate() {
-                        if d == 0.0 {
-                            continue;
-                        }
-                        // CAS-add of an f32 stored as bits.
-                        let cell = &shared[base + k];
-                        let mut cur = cell.load(Ordering::Relaxed);
-                        loop {
-                            let new = (f32::from_bits(cur) + d).to_bits();
-                            match cell.compare_exchange_weak(
-                                cur,
-                                new,
-                                Ordering::Relaxed,
-                                Ordering::Relaxed,
-                            ) {
-                                Ok(_) => break,
-                                Err(seen) => cur = seen,
+                compute_thread(
+                    psys,
+                    list,
+                    params,
+                    thread_range(n_pkg, n_threads, t),
+                    |pkg, delta| {
+                        let base = pkg * FORCE_WORDS;
+                        for (k, &d) in delta.iter().enumerate() {
+                            if d == 0.0 {
+                                continue;
+                            }
+                            // CAS-add of an f32 stored as bits.
+                            let cell = &shared[base + k];
+                            let mut cur = cell.load(Ordering::Relaxed);
+                            loop {
+                                let new = (f32::from_bits(cur) + d).to_bits();
+                                match cell.compare_exchange_weak(
+                                    cur,
+                                    new,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                ) {
+                                    Ok(_) => break,
+                                    Err(seen) => cur = seen,
+                                }
                             }
                         }
-                    }
-                })
+                    },
+                )
             }));
         }
         let mut en = NbEnergies::default();
@@ -280,14 +286,14 @@ fn run_copies(
     crossbeam::thread::scope(|s| {
         let outputs = &outputs;
         let mut handles = Vec::new();
-        for (t, chunk) in out.chunks_mut(n_lines.div_ceil(n_threads) * MARK_LINE_PKGS * FORCE_WORDS).enumerate() {
+        for (t, chunk) in out
+            .chunks_mut(n_lines.div_ceil(n_threads) * MARK_LINE_PKGS * FORCE_WORDS)
+            .enumerate()
+        {
             let line_base = t * n_lines.div_ceil(n_threads);
             handles.push(s.spawn(move |_| {
                 for (copy, marks, _) in outputs {
-                    for (li, line) in chunk
-                        .chunks_mut(MARK_LINE_PKGS * FORCE_WORDS)
-                        .enumerate()
-                    {
+                    for (li, line) in chunk.chunks_mut(MARK_LINE_PKGS * FORCE_WORDS).enumerate() {
                         let gline = line_base + li;
                         if with_marks && !marks.get(gline).copied().unwrap_or(false) {
                             continue; // Alg. 4 on the host
@@ -342,7 +348,8 @@ mod tests {
             for threads in [1usize, 4] {
                 let out = run_host_parallel(&psys, &cpe, &params, threads, strategy);
                 assert_eq!(
-                    out.energies.pairs_within_cutoff, en_ref.pairs_within_cutoff,
+                    out.energies.pairs_within_cutoff,
+                    en_ref.pairs_within_cutoff,
                     "{} x{threads}",
                     strategy.name()
                 );

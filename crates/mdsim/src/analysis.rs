@@ -75,7 +75,11 @@ impl Rdf {
             let r_hi = r_lo + self.dr as f64;
             let shell = 4.0 / 3.0 * std::f64::consts::PI * (r_hi.powi(3) - r_lo.powi(3));
             let ideal = self.n_a as f64 * rho_b * shell * self.frames as f64;
-            self.g[i] = if ideal > 0.0 { count as f64 / ideal } else { 0.0 };
+            self.g[i] = if ideal > 0.0 {
+                count as f64 / ideal
+            } else {
+                0.0
+            };
         }
     }
 
@@ -120,7 +124,9 @@ impl Rdf {
 
 /// Indices of all particles of atom type `type_id` in the system.
 pub fn select_type(sys: &System, type_id: usize) -> Vec<usize> {
-    (0..sys.n()).filter(|&i| sys.type_id[i] == type_id).collect()
+    (0..sys.n())
+        .filter(|&i| sys.type_id[i] == type_id)
+        .collect()
 }
 
 /// Mean-squared displacement accumulator (no unwrapping across the
@@ -229,7 +235,11 @@ mod tests {
         let sel: Vec<usize> = (0..pos.len()).collect();
         let mut rdf = Rdf::new(1.0, 100);
         rdf.accumulate(&pbc, &pos, &sel, &sel);
-        assert!((rdf.first_peak() - a).abs() < 0.02, "peak {}", rdf.first_peak());
+        assert!(
+            (rdf.first_peak() - a).abs() < 0.02,
+            "peak {}",
+            rdf.first_peak()
+        );
         // Six nearest neighbors on the simple cubic lattice.
         let coord = rdf.coordination_number(a * 1.2);
         assert!((coord - 6.0).abs() < 0.5, "coordination {coord}");
@@ -265,7 +275,10 @@ mod tests {
         // MSD(t) = (v t)^2.
         for &(t, m) in &msd.samples {
             let want = (0.1 * t as f32).powi(2) as f64;
-            assert!((m - want).abs() < 1e-3 * want.max(1.0), "t={t}: {m} vs {want}");
+            assert!(
+                (m - want).abs() < 1e-3 * want.max(1.0),
+                "t={t}: {m} vs {want}"
+            );
         }
     }
 

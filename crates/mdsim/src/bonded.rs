@@ -37,14 +37,8 @@ pub fn compute_bonded(sys: &mut System) -> BondedEnergies {
                 en.bond += harmonic_bond(sys, base + b.i, base + b.j, b.r0, b.k);
             }
             for a in &kind.angles {
-                en.angle += harmonic_angle(
-                    sys,
-                    base + a.i,
-                    base + a.j,
-                    base + a.k,
-                    a.theta0,
-                    a.ktheta,
-                );
+                en.angle +=
+                    harmonic_angle(sys, base + a.i, base + a.j, base + a.k, a.theta0, a.ktheta);
             }
             for d in &kind.dihedrals {
                 en.dihedral += periodic_dihedral(
@@ -183,8 +177,8 @@ mod tests {
     #[test]
     fn bond_at_equilibrium_has_no_force() {
         let mut s = one_water_at(0.1); // r0 = 0.1 nm
-        // f32 placement error of ~1e-8 nm against k = 3.45e5 leaves a
-        // sub-kJ/mol/nm residual force; anything below 1 is "zero" here.
+                                       // f32 placement error of ~1e-8 nm against k = 3.45e5 leaves a
+                                       // sub-kJ/mol/nm residual force; anything below 1 is "zero" here.
         let e = harmonic_bond(&mut s, 0, 1, 0.1, 345_000.0);
         assert!(e.abs() < 1e-6);
         assert!(s.force[0].norm() < 1.0);

@@ -59,7 +59,11 @@ impl Checkpoint {
         if self.pos.len() != sys.n() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("checkpoint has {} particles, system {}", self.pos.len(), sys.n()),
+                format!(
+                    "checkpoint has {} particles, system {}",
+                    self.pos.len(),
+                    sys.n()
+                ),
             ));
         }
         if self.fingerprint != topology_fingerprint(sys) {

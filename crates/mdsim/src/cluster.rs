@@ -180,7 +180,7 @@ impl Clustering {
             let items = grid.cell_items(c as usize);
             slots.extend_from_slice(items);
             let pad = (CLUSTER_SIZE - items.len() % CLUSTER_SIZE) % CLUSTER_SIZE;
-            slots.extend(std::iter::repeat(FILLER).take(pad));
+            slots.resize(slots.len() + pad, FILLER);
         }
         Self::from_slots(slots, pos.len())
     }

@@ -47,8 +47,16 @@ impl ConstraintSet {
         let mut constraints = Vec::with_capacity(3 * n_mol);
         for m in 0..n_mol {
             let o = 3 * m;
-            constraints.push(Constraint { i: o, j: o + 1, d: d_oh });
-            constraints.push(Constraint { i: o, j: o + 2, d: d_oh });
+            constraints.push(Constraint {
+                i: o,
+                j: o + 1,
+                d: d_oh,
+            });
+            constraints.push(Constraint {
+                i: o,
+                j: o + 2,
+                d: d_oh,
+            });
             constraints.push(Constraint {
                 i: o + 1,
                 j: o + 2,

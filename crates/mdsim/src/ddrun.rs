@@ -74,8 +74,7 @@ pub fn compute_forces_dd(
     // Forces indexed globally; each rank's halo contributions land here
     // directly, which *is* the "send home and add" reduction (ranks are
     // executed sequentially, so there is no write conflict to emulate).
-    for rank in 0..decomposition.n_ranks() {
-        let local = &parts[rank];
+    for (rank, local) in parts.iter().enumerate() {
         let halo = decomposition.halo_of(rank, &all_pos, params.r_cut);
         stats.local.push(local.len());
         stats.halo.push(halo.len());

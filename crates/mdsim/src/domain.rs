@@ -105,7 +105,7 @@ impl Decomposition {
                 return 0.0; // single domain spans the axis
             }
             // Distance to the nearer face, periodic.
-            
+
             (x - hi).rem_euclid(lx).min((lo - x).rem_euclid(lx))
         };
         let dx = axis_dist(w.x, lo.x, hi.x, l.x, self.dims[0]);
@@ -134,8 +134,7 @@ impl Decomposition {
                     continue;
                 }
                 let mut n = c;
-                n[axis] =
-                    ((c[axis] as isize + dir).rem_euclid(self.dims[axis] as isize)) as usize;
+                n[axis] = ((c[axis] as isize + dir).rem_euclid(self.dims[axis] as isize)) as usize;
                 let r = (n[0] * self.dims[1] + n[1]) * self.dims[2] + n[2];
                 if r != rank && !out.contains(&r) {
                     out.push(r);
@@ -233,7 +232,7 @@ mod tests {
     fn halo_contains_exactly_near_boundary_foreigners() {
         let pbc = PbcBox::cubic(4.0);
         let d = Decomposition::new(pbc, 2); // split along one axis
-        // A particle just across the boundary from rank 0.
+                                            // A particle just across the boundary from rank 0.
         let (lo0, hi0) = d.bounds(0);
         let inside = vec3((lo0.x + hi0.x) * 0.5, 2.0, 2.0);
         let just_outside = vec3(hi0.x + 0.05, 2.0, 2.0);
@@ -260,10 +259,8 @@ mod tests {
         let large = water_box(1600, 300.0, 6);
         let ds = Decomposition::new(small.pbc, 8);
         let dl = Decomposition::new(large.pbc, 8);
-        let hs = ds.halo_of(0, &small.pos, 1.0).len() as f64
-            / (small.n() as f64 / 8.0);
-        let hl = dl.halo_of(0, &large.pos, 1.0).len() as f64
-            / (large.n() as f64 / 8.0);
+        let hs = ds.halo_of(0, &small.pos, 1.0).len() as f64 / (small.n() as f64 / 8.0);
+        let hl = dl.halo_of(0, &large.pos, 1.0).len() as f64 / (large.n() as f64 / 8.0);
         assert!(hl < hs, "halo fraction small={hs:.2} large={hl:.2}");
     }
 }

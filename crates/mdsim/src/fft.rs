@@ -310,8 +310,7 @@ mod tests {
             for iy in 0..8 {
                 for iz in 0..8 {
                     let id = g.idx(ix, iy, iz);
-                    g.data[id] =
-                        Complex::cis(2.0 * std::f64::consts::PI * 3.0 * ix as f64 / 8.0);
+                    g.data[id] = Complex::cis(2.0 * std::f64::consts::PI * 3.0 * ix as f64 / 8.0);
                 }
             }
         }
@@ -320,7 +319,11 @@ mod tests {
             for iy in 0..8 {
                 for iz in 0..8 {
                     let v = g.data[g.idx(ix, iy, iz)];
-                    let expect = if ix == 3 && iy == 0 && iz == 0 { 512.0 } else { 0.0 };
+                    let expect = if ix == 3 && iy == 0 && iz == 0 {
+                        512.0
+                    } else {
+                        0.0
+                    };
                     assert!(
                         (v.re - expect).abs() < 1e-8 && v.im.abs() < 1e-8,
                         "({ix},{iy},{iz}): {v:?}"

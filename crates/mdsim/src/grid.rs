@@ -114,11 +114,8 @@ impl CellGrid {
         for dx in range(self.dims[0]) {
             for dy in range(self.dims[1]) {
                 for dz in range(self.dims[2]) {
-                    let idx = self.cell_index(
-                        c[0] as isize + dx,
-                        c[1] as isize + dy,
-                        c[2] as isize + dz,
-                    );
+                    let idx =
+                        self.cell_index(c[0] as isize + dx, c[1] as isize + dy, c[2] as isize + dz);
                     if seen_cells.contains(&idx) {
                         continue;
                     }
@@ -182,11 +179,8 @@ impl CellGrid {
                     if gx * gx + gy * gy + gz * gz > range * range {
                         continue;
                     }
-                    let idx = self.cell_index(
-                        c[0] as isize + dx,
-                        c[1] as isize + dy,
-                        c[2] as isize + dz,
-                    );
+                    let idx =
+                        self.cell_index(c[0] as isize + dx, c[1] as isize + dy, c[2] as isize + dz);
                     if seen.contains(&idx) {
                         continue;
                     }
@@ -209,7 +203,13 @@ mod tests {
     fn every_point_lands_in_exactly_one_cell() {
         let pbc = PbcBox::cubic(4.0);
         let pts: Vec<Vec3> = (0..100)
-            .map(|i| vec3((i as f32 * 0.37) % 4.0, (i as f32 * 0.61) % 4.0, (i as f32 * 0.83) % 4.0))
+            .map(|i| {
+                vec3(
+                    (i as f32 * 0.37) % 4.0,
+                    (i as f32 * 0.61) % 4.0,
+                    (i as f32 * 0.83) % 4.0,
+                )
+            })
             .collect();
         let g = CellGrid::build(&pbc, &pts, 1.0);
         let mut seen = vec![false; pts.len()];

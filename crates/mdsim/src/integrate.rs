@@ -135,9 +135,8 @@ mod tests {
         // Under a constant force both schemes produce the same positions
         // (velocities are offset by half a step in leapfrog).
         let top = Topology::lj_fluid(1);
-        let mk = || {
-            System::from_topology(top.clone(), PbcBox::cubic(100.0), vec![vec3(5.0, 5.0, 5.0)])
-        };
+        let mk =
+            || System::from_topology(top.clone(), PbcBox::cubic(100.0), vec![vec3(5.0, 5.0, 5.0)]);
         let dt = 0.002f32;
         let f = vec3(7.0, -3.0, 1.0);
         let mut vv = mk();
@@ -151,7 +150,11 @@ mod tests {
         let t = 200.0 * dt;
         let a = f / vv.mass[0];
         let expect = vec3(5.0, 5.0, 5.0) + a * (0.5 * t * t);
-        assert!((vv.pos[0] - expect).norm() < 1e-3, "{:?} vs {expect:?}", vv.pos[0]);
+        assert!(
+            (vv.pos[0] - expect).norm() < 1e-3,
+            "{:?} vs {expect:?}",
+            vv.pos[0]
+        );
     }
 
     #[test]
@@ -159,8 +162,7 @@ mod tests {
         // A single particle on a spring: VV is symplectic, energy drift
         // over many periods stays tiny.
         let top = Topology::lj_fluid(1);
-        let mut s =
-            System::from_topology(top, PbcBox::cubic(100.0), vec![vec3(51.0, 50.0, 50.0)]);
+        let mut s = System::from_topology(top, PbcBox::cubic(100.0), vec![vec3(51.0, 50.0, 50.0)]);
         let k = 1000.0f32;
         let center = vec3(50.0, 50.0, 50.0);
         let dt = 0.001f32;
@@ -196,7 +198,10 @@ mod tests {
             berendsen_scale(&mut s, 0.002, 0.1, 300.0, t);
         }
         let t1 = s.temperature(dof);
-        assert!((t1 - 300.0).abs() < (t0 - 300.0).abs() * 0.1, "T {t0} -> {t1}");
+        assert!(
+            (t1 - 300.0).abs() < (t0 - 300.0).abs() * 0.1,
+            "T {t0} -> {t1}"
+        );
     }
 
     #[test]

@@ -81,13 +81,7 @@ impl NbEnergies {
 /// Returns `(f_over_r, e_lj, e_coul)`. Exposed so optimized kernels and
 /// the reference share one definition of the interaction.
 #[inline]
-pub fn pair_interaction(
-    r2: f32,
-    c6: f32,
-    c12: f32,
-    qq: f32,
-    params: &NbParams,
-) -> (f32, f32, f32) {
+pub fn pair_interaction(r2: f32, c6: f32, c12: f32, qq: f32, params: &NbParams) -> (f32, f32, f32) {
     let rinv2 = 1.0 / r2;
     let rinv6 = rinv2 * rinv2 * rinv2;
     // LJ: V = C12/r^12 - C6/r^6; F/r = (12 C12/r^12 - 6 C6/r^6)/r^2.

@@ -13,7 +13,10 @@ pub struct PbcBox {
 impl PbcBox {
     /// A box with the given edge lengths (nm). All must be positive.
     pub fn new(lx: f32, ly: f32, lz: f32) -> Self {
-        assert!(lx > 0.0 && ly > 0.0 && lz > 0.0, "box edges must be positive");
+        assert!(
+            lx > 0.0 && ly > 0.0 && lz > 0.0,
+            "box edges must be positive"
+        );
         Self {
             lengths: vec3(lx, ly, lz),
         }

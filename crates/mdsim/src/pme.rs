@@ -340,7 +340,10 @@ mod tests {
             });
         }
         let grid_q: f64 = grid.data.iter().map(|c| c.re).sum();
-        assert!((grid_q - total_q).abs() < 1e-9, "grid {grid_q} vs {total_q}");
+        assert!(
+            (grid_q - total_q).abs() < 1e-9,
+            "grid {grid_q} vs {total_q}"
+        );
     }
 
     #[test]

@@ -45,7 +45,13 @@ mod tests {
         use rand::SeedableRng;
         let top = Topology::lj_fluid(500);
         let pos = (0..500)
-            .map(|i| vec3((i % 10) as f32 * 0.5, ((i / 10) % 10) as f32 * 0.5, (i / 100) as f32 * 0.5))
+            .map(|i| {
+                vec3(
+                    (i % 10) as f32 * 0.5,
+                    ((i / 10) % 10) as f32 * 0.5,
+                    (i / 100) as f32 * 0.5,
+                )
+            })
             .collect();
         let mut sys = System::from_topology(top, PbcBox::cubic(5.0), pos);
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);

@@ -118,7 +118,11 @@ pub struct Topology {
 impl Topology {
     /// Build a topology, deriving combined LJ tables with Lorentz-Berthelot
     /// rules from the per-type sigma/epsilon.
-    pub fn new(types: Vec<AtomType>, kinds: Vec<MoleculeKind>, blocks: Vec<(usize, usize)>) -> Self {
+    pub fn new(
+        types: Vec<AtomType>,
+        kinds: Vec<MoleculeKind>,
+        blocks: Vec<(usize, usize)>,
+    ) -> Self {
         let n = types.len();
         let mut c6 = vec![0.0f32; n * n];
         let mut c12 = vec![0.0f32; n * n];
@@ -242,10 +246,26 @@ impl Topology {
             name: "TIP3P water".into(),
             atom_types: vec![0, 1, 1],
             bonds: vec![
-                Bond { i: 0, j: 1, r0: 0.09572, k: 502_416.0 },
-                Bond { i: 0, j: 2, r0: 0.09572, k: 502_416.0 },
+                Bond {
+                    i: 0,
+                    j: 1,
+                    r0: 0.09572,
+                    k: 502_416.0,
+                },
+                Bond {
+                    i: 0,
+                    j: 2,
+                    r0: 0.09572,
+                    k: 502_416.0,
+                },
             ],
-            angles: vec![Angle { i: 1, j: 0, k: 2, theta0, ktheta: 628.02 }],
+            angles: vec![Angle {
+                i: 1,
+                j: 0,
+                k: 2,
+                theta0,
+                ktheta: 628.02,
+            }],
             dihedrals: vec![],
             exclusions: vec![(0, 1), (0, 2), (1, 2)],
         };

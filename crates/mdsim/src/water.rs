@@ -137,8 +137,7 @@ pub fn saline_box(n_mol: usize, n_pairs: usize, t_ref: f64, seed: u64) -> System
     for c in centers.iter().skip(n_mol) {
         pos.push(pbc.wrap(*c));
     }
-    let mut sys =
-        System::from_topology(Topology::saline(n_mol, n_pairs), pbc, pos);
+    let mut sys = System::from_topology(Topology::saline(n_mol, n_pairs), pbc, pos);
     sys.thermalize(t_ref, &mut rng);
     sys
 }

@@ -98,7 +98,11 @@ fn dd_on_more_ranks_than_particles() {
     let mut sys = System::from_topology(
         top,
         PbcBox::cubic(3.0),
-        vec![vec3(0.5, 0.5, 0.5), vec3(1.6, 1.6, 1.6), vec3(2.4, 0.5, 1.0)],
+        vec![
+            vec3(0.5, 0.5, 0.5),
+            vec3(1.6, 1.6, 1.6),
+            vec3(2.4, 0.5, 1.0),
+        ],
     );
     let (en, stats) = mdsim::ddrun::compute_forces_dd(&mut sys, 8, &params());
     assert_eq!(stats.local.iter().sum::<usize>(), 3);

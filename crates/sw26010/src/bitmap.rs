@@ -52,6 +52,19 @@ impl BitMap {
         prev
     }
 
+    /// Set bit `i` on behalf of the write cache with trace id `owner`,
+    /// emitting a mark event on the clear -> set transition so the
+    /// `swcheck` coherence pass can compare marks against the reduction.
+    /// Returns the previous value, like [`Self::set`].
+    #[inline]
+    pub fn set_owned(&mut self, i: usize, owner: u64) -> bool {
+        let prev = self.set(i);
+        if !prev {
+            crate::trace::emit_mark_set(owner, i);
+        }
+        prev
+    }
+
     /// Clear bit `i`.
     #[inline]
     pub fn clear(&mut self, i: usize) {
@@ -71,18 +84,21 @@ impl BitMap {
 
     /// Iterate indices of set bits in increasing order.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
-            let mut w = w;
-            std::iter::from_fn(move || {
-                if w == 0 {
-                    return None;
-                }
-                let bit = w.trailing_zeros() as usize;
-                w &= w - 1;
-                Some(wi * 64 + bit)
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(move |(wi, &w)| {
+                let mut w = w;
+                std::iter::from_fn(move || {
+                    if w == 0 {
+                        return None;
+                    }
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                })
             })
-        })
-        .take_while(move |&i| i < self.len)
+            .take_while(move |&i| i < self.len)
     }
 
     /// LDM bytes consumed by this bitmap.

@@ -44,6 +44,64 @@ impl CacheStats {
     }
 }
 
+/// Why a cache geometry (or a cache built from one) was rejected.
+///
+/// The bit-twiddling index decomposition (Fig. 3 / Alg. 3) only works for
+/// power-of-two set counts and line sizes, and the paper's caches are 1-
+/// or 2-way; anything else is a configuration error, reported as a typed
+/// value so callers (e.g. config loaders, the `swcheck` lint pass) can
+/// match on the cause instead of parsing a panic string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheConfigError {
+    /// `n_sets` must be a power of two for the set-index bit mask.
+    SetsNotPowerOfTwo {
+        /// The rejected set count.
+        n_sets: usize,
+    },
+    /// `line_elems` must be a power of two for the offset bit mask.
+    LineElemsNotPowerOfTwo {
+        /// The rejected line size in elements.
+        line_elems: usize,
+    },
+    /// Only direct-mapped (1) and 2-way (§3.5) associativity exist.
+    UnsupportedWays {
+        /// The rejected associativity.
+        ways: usize,
+    },
+    /// Elements must hold at least one f32 word.
+    ZeroElemWords,
+    /// The paper's deferred-update write cache (Fig. 4) is direct-mapped.
+    WriteCacheNotDirectMapped {
+        /// The rejected associativity.
+        ways: usize,
+    },
+}
+
+impl std::fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::SetsNotPowerOfTwo { n_sets } => {
+                write!(f, "n_sets must be a power of two, got {n_sets}")
+            }
+            Self::LineElemsNotPowerOfTwo { line_elems } => {
+                write!(f, "line_elems must be a power of two, got {line_elems}")
+            }
+            Self::UnsupportedWays { ways } => {
+                write!(f, "only 1- and 2-way associativity supported, got {ways}")
+            }
+            Self::ZeroElemWords => write!(f, "elem_words must be at least 1"),
+            Self::WriteCacheNotDirectMapped { ways } => {
+                write!(
+                    f,
+                    "the paper's write cache is direct-mapped, got {ways}-way geometry"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheConfigError {}
+
 /// Geometry shared by both cache kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheGeometry {
@@ -58,20 +116,39 @@ pub struct CacheGeometry {
 }
 
 impl CacheGeometry {
-    /// Validated constructor.
-    pub fn new(n_sets: usize, ways: usize, line_elems: usize, elem_words: usize) -> Self {
-        assert!(n_sets.is_power_of_two(), "n_sets must be a power of two");
-        assert!(
-            line_elems.is_power_of_two(),
-            "line_elems must be a power of two"
-        );
-        assert!(ways == 1 || ways == 2, "only 1- and 2-way supported");
-        assert!(elem_words > 0);
-        Self {
+    /// Validated constructor returning the rejection cause on bad input.
+    pub fn try_new(
+        n_sets: usize,
+        ways: usize,
+        line_elems: usize,
+        elem_words: usize,
+    ) -> Result<Self, CacheConfigError> {
+        if !n_sets.is_power_of_two() {
+            return Err(CacheConfigError::SetsNotPowerOfTwo { n_sets });
+        }
+        if !line_elems.is_power_of_two() {
+            return Err(CacheConfigError::LineElemsNotPowerOfTwo { line_elems });
+        }
+        if ways != 1 && ways != 2 {
+            return Err(CacheConfigError::UnsupportedWays { ways });
+        }
+        if elem_words == 0 {
+            return Err(CacheConfigError::ZeroElemWords);
+        }
+        Ok(Self {
             n_sets,
             ways,
             line_elems,
             elem_words,
+        })
+    }
+
+    /// Validated constructor; panics on bad input. Prefer [`Self::try_new`]
+    /// when the geometry comes from configuration rather than constants.
+    pub fn new(n_sets: usize, ways: usize, line_elems: usize, elem_words: usize) -> Self {
+        match Self::try_new(n_sets, ways, line_elems, elem_words) {
+            Ok(geo) => geo,
+            Err(e) => panic!("invalid cache geometry: {e}"),
         }
     }
 
@@ -140,6 +217,8 @@ pub struct ReadCache {
     lru: Vec<u8>,
     data: Vec<f32>,
     stats: CacheStats,
+    trace_id: u64,
+    binding: Option<crate::trace::Binding>,
 }
 
 impl ReadCache {
@@ -151,12 +230,27 @@ impl ReadCache {
             lru: vec![0; geo.n_sets],
             data: vec![0.0; geo.n_sets * geo.ways * geo.line_words()],
             stats: CacheStats::default(),
+            trace_id: crate::trace::next_cache_id(),
+            binding: None,
         }
     }
 
     /// Cache geometry.
     pub fn geometry(&self) -> CacheGeometry {
         self.geo
+    }
+
+    /// Process-unique trace id of this cache instance.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// Declare where the backing array sits in the traced address space:
+    /// its element 0 is word `base_words` of `region`. Line fills are
+    /// then emitted as addressed DMA (same cost; alignment derived from
+    /// the address).
+    pub fn bind_region(&mut self, region: crate::trace::RegionId, base_words: usize) {
+        self.binding = Some(crate::trace::Binding { region, base_words });
     }
 
     /// Statistics so far.
@@ -222,7 +316,16 @@ impl ReadCache {
         let line_base_elem = self.geo.line_base(idx);
         let word_base = line_base_elem * self.geo.elem_words;
         let lw = self.geo.line_words();
-        DmaEngine::transfer_shared(perf, Dir::Get, self.geo.line_bytes(), true);
+        match self.binding {
+            Some(b) => DmaEngine::transfer_shared_at(
+                perf,
+                Dir::Get,
+                b.region,
+                (b.base_words + word_base) * 4,
+                self.geo.line_bytes(),
+            ),
+            None => DmaEngine::transfer_shared(perf, Dir::Get, self.geo.line_bytes(), true),
+        }
         let range = self.slot_range(set, victim);
         let src_end = (word_base + lw).min(backing.len());
         let n = src_end.saturating_sub(word_base);
@@ -254,29 +357,57 @@ pub struct WriteCache {
     data: Vec<f32>,
     marks: Option<BitMap>,
     stats: CacheStats,
+    trace_id: u64,
+    binding: Option<crate::trace::Binding>,
 }
 
 impl WriteCache {
-    /// Plain deferred-update cache (the paper's "Cache" version); the
-    /// backing copy must be zero-initialized by the caller.
-    pub fn new(geo: CacheGeometry) -> Self {
-        assert_eq!(geo.ways, 1, "the paper's write cache is direct-mapped");
-        Self {
+    /// Plain deferred-update cache (the paper's "Cache" version),
+    /// rejecting non-direct-mapped geometries; the backing copy must be
+    /// zero-initialized by the caller.
+    pub fn try_new(geo: CacheGeometry) -> Result<Self, CacheConfigError> {
+        if geo.ways != 1 {
+            return Err(CacheConfigError::WriteCacheNotDirectMapped { ways: geo.ways });
+        }
+        Ok(Self {
             geo,
             tags: vec![INVALID; geo.n_sets],
             data: vec![0.0; geo.n_sets * geo.line_words()],
             marks: None,
             stats: CacheStats::default(),
+            trace_id: crate::trace::next_cache_id(),
+            binding: None,
+        })
+    }
+
+    /// Plain deferred-update cache; panics on a non-direct-mapped
+    /// geometry. Prefer [`Self::try_new`] for configured geometries.
+    pub fn new(geo: CacheGeometry) -> Self {
+        match Self::try_new(geo) {
+            Ok(c) => c,
+            Err(e) => panic!("invalid write cache: {e}"),
         }
     }
 
     /// Deferred-update cache with Bit-Map marks over a backing copy of
     /// `backing_elems` elements (the paper's "Mark" version).
-    pub fn with_marks(geo: CacheGeometry, backing_elems: usize) -> Self {
-        let mut c = Self::new(geo);
+    pub fn try_with_marks(
+        geo: CacheGeometry,
+        backing_elems: usize,
+    ) -> Result<Self, CacheConfigError> {
+        let mut c = Self::try_new(geo)?;
         let lines = backing_elems.div_ceil(geo.line_elems);
         c.marks = Some(BitMap::new(lines));
-        c
+        Ok(c)
+    }
+
+    /// Deferred-update cache with marks; panics on a non-direct-mapped
+    /// geometry. Prefer [`Self::try_with_marks`] for configured geometries.
+    pub fn with_marks(geo: CacheGeometry, backing_elems: usize) -> Self {
+        match Self::try_with_marks(geo, backing_elems) {
+            Ok(c) => c,
+            Err(e) => panic!("invalid write cache: {e}"),
+        }
     }
 
     /// Cache geometry.
@@ -292,6 +423,29 @@ impl WriteCache {
     /// The mark bitmap, if marks are enabled.
     pub fn marks(&self) -> Option<&BitMap> {
         self.marks.as_ref()
+    }
+
+    /// Process-unique trace id of this cache instance.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// Declare where the backing copy sits in the traced address space:
+    /// its element 0 is word `base_words` of `region`. Fetches and
+    /// writebacks are then emitted as addressed DMA, which lets the
+    /// `swcheck` race detector prove the per-CPE copies disjoint.
+    pub fn bind_region(&mut self, region: crate::trace::RegionId, base_words: usize) {
+        self.binding = Some(crate::trace::Binding { region, base_words });
+    }
+
+    /// Backing line numbers of all currently resident (dirty) lines.
+    /// Every resident line is dirty by construction — the cache only
+    /// holds unflushed accumulations.
+    pub fn dirty_lines(&self) -> Vec<usize> {
+        (0..self.geo.n_sets)
+            .filter(|&set| self.tags[set] >= 0)
+            .map(|set| ((self.tags[set] as usize) << self.geo.n()) | set)
+            .collect()
     }
 
     /// LDM footprint (data + tags + marks).
@@ -321,19 +475,27 @@ impl WriteCache {
         }
     }
 
-    fn miss(&mut self, perf: &mut PerfCounters, backing: &mut [f32], tag: usize, set: usize, idx: usize) {
+    fn miss(
+        &mut self,
+        perf: &mut PerfCounters,
+        backing: &mut [f32],
+        tag: usize,
+        set: usize,
+        idx: usize,
+    ) {
         self.stats.misses += 1;
         // Evict current occupant if valid (Alg. 3 line 8-10).
         if self.tags[set] >= 0 {
             self.writeback_set(perf, backing, set);
         }
         let line_no = self.geo.line_number(idx);
+        let trace_id = self.trace_id;
         let fetch = match &mut self.marks {
             Some(marks) => {
                 if marks.get(line_no) {
                     true // previously updated: must fetch current copy value
                 } else {
-                    marks.set(line_no);
+                    marks.set_owned(line_no, trace_id);
                     false // known zero: just init LDM line (Alg. 3 line 14-16)
                 }
             }
@@ -342,8 +504,17 @@ impl WriteCache {
         let lw = self.geo.line_words();
         let range = set * lw..(set + 1) * lw;
         if fetch {
-            DmaEngine::transfer_shared(perf, Dir::Get, self.geo.line_bytes(), true);
             let word_base = self.geo.line_base(idx) * self.geo.elem_words;
+            match self.binding {
+                Some(b) => DmaEngine::transfer_shared_at(
+                    perf,
+                    Dir::Get,
+                    b.region,
+                    (b.base_words + word_base) * 4,
+                    self.geo.line_bytes(),
+                ),
+                None => DmaEngine::transfer_shared(perf, Dir::Get, self.geo.line_bytes(), true),
+            }
             let src_end = (word_base + lw).min(backing.len());
             let n = src_end.saturating_sub(word_base);
             self.data[range.clone()][..n].copy_from_slice(&backing[word_base..src_end]);
@@ -359,11 +530,19 @@ impl WriteCache {
         let tag = self.tags[set];
         debug_assert!(tag >= 0);
         self.stats.writebacks += 1;
-        DmaEngine::transfer_shared(perf, Dir::Put, self.geo.line_bytes(), true);
         // Reconstruct the backing element index: idx = ((tag << n) | set) << m.
-        let line_elem_base =
-            (((tag as usize) << self.geo.n()) | set) << self.geo.m();
+        let line_elem_base = (((tag as usize) << self.geo.n()) | set) << self.geo.m();
         let word_base = line_elem_base * self.geo.elem_words;
+        match self.binding {
+            Some(b) => DmaEngine::transfer_shared_at(
+                perf,
+                Dir::Put,
+                b.region,
+                (b.base_words + word_base) * 4,
+                self.geo.line_bytes(),
+            ),
+            None => DmaEngine::transfer_shared(perf, Dir::Put, self.geo.line_bytes(), true),
+        }
         let lw = self.geo.line_words();
         let dst_end = (word_base + lw).min(backing.len());
         let n = dst_end.saturating_sub(word_base);
@@ -377,6 +556,21 @@ impl WriteCache {
             if self.tags[set] >= 0 {
                 self.writeback_set(perf, backing, set);
                 self.tags[set] = INVALID;
+            }
+        }
+    }
+}
+
+impl Drop for WriteCache {
+    /// Accumulations still resident at drop never reach the backing copy
+    /// — a kernel that forgets to flush silently loses forces. Report
+    /// the leak to the trace sink (invariant SWC102) when a checker
+    /// session is capturing; a flushed cache emits nothing.
+    fn drop(&mut self) {
+        if crate::trace::enabled() {
+            let lines = self.dirty_lines();
+            if !lines.is_empty() {
+                crate::trace::emit_wc_drop_dirty(self.trace_id, lines);
             }
         }
     }
@@ -549,6 +743,45 @@ mod tests {
         ca.flush(&mut pa, &mut a);
         cb.flush(&mut pb, &mut b);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn try_new_reports_each_rejection_cause() {
+        assert_eq!(
+            CacheGeometry::try_new(3, 1, 4, 2),
+            Err(CacheConfigError::SetsNotPowerOfTwo { n_sets: 3 })
+        );
+        assert_eq!(
+            CacheGeometry::try_new(4, 1, 5, 2),
+            Err(CacheConfigError::LineElemsNotPowerOfTwo { line_elems: 5 })
+        );
+        assert_eq!(
+            CacheGeometry::try_new(4, 3, 4, 2),
+            Err(CacheConfigError::UnsupportedWays { ways: 3 })
+        );
+        assert_eq!(
+            CacheGeometry::try_new(4, 1, 4, 0),
+            Err(CacheConfigError::ZeroElemWords)
+        );
+        assert!(CacheGeometry::try_new(4, 2, 4, 2).is_ok());
+        let two_way = CacheGeometry::try_new(4, 2, 4, 2).unwrap();
+        assert_eq!(
+            WriteCache::try_new(two_way).err(),
+            Some(CacheConfigError::WriteCacheNotDirectMapped { ways: 2 })
+        );
+        assert_eq!(
+            WriteCache::try_with_marks(two_way, 64).err(),
+            Some(CacheConfigError::WriteCacheNotDirectMapped { ways: 2 })
+        );
+        // Display strings carry the offending value for diagnostics.
+        let msg = CacheConfigError::SetsNotPowerOfTwo { n_sets: 3 }.to_string();
+        assert!(msg.contains('3'), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn panicking_constructor_still_guards() {
+        CacheGeometry::new(6, 1, 4, 2);
     }
 
     #[test]

@@ -98,7 +98,9 @@ pub struct CoreGroup {
 impl CoreGroup {
     /// A full 64-CPE core group.
     pub fn new() -> Self {
-        Self { n_cpes: CPES_PER_CG }
+        Self {
+            n_cpes: CPES_PER_CG,
+        }
     }
 
     /// A core group restricted to `n` CPEs (ablation).
@@ -115,6 +117,7 @@ impl CoreGroup {
         F: Fn(&mut CpeCtx) -> R + Sync,
     {
         let n = self.n_cpes;
+        let epoch = crate::trace::begin_region(n);
         let mut slots: Vec<Option<(R, PerfCounters)>> = (0..n).map(|_| None).collect();
         let threads = std::thread::available_parallelism()
             .map(|p| p.get())
@@ -130,8 +133,10 @@ impl CoreGroup {
                 let kernel = &kernel;
                 handles.push(s.spawn(move |_| {
                     for (off, slot) in slice.iter_mut().enumerate() {
+                        crate::trace::set_current_cpe(Some(base + off));
                         let mut ctx = CpeCtx::new(base + off);
                         let r = kernel(&mut ctx);
+                        crate::trace::set_current_cpe(None);
                         *slot = Some((r, ctx.perf));
                     }
                 }));
@@ -141,6 +146,7 @@ impl CoreGroup {
             }
         })
         .expect("crossbeam scope failed");
+        crate::trace::end_region(epoch);
 
         let mut results = Vec::with_capacity(n);
         let mut per_cpe = Vec::with_capacity(n);

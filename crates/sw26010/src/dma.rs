@@ -7,9 +7,7 @@
 //! the interpolated Table 2 curve plus a fixed setup cost, and records
 //! traffic statistics in the issuing core's [`PerfCounters`].
 
-use crate::params::{
-    self, dma_bandwidth_gbs, ALIGN_BYTES, DMA_SETUP_CYCLES, MISALIGN_PENALTY,
-};
+use crate::params::{self, dma_bandwidth_gbs, ALIGN_BYTES, DMA_SETUP_CYCLES, MISALIGN_PENALTY};
 use crate::perf::PerfCounters;
 
 /// Direction of a DMA transfer, for statistics.
@@ -53,12 +51,13 @@ impl DmaEngine {
     }
 
     /// Issue a transfer and account it into `perf`.
-    pub fn transfer(perf: &mut PerfCounters, _dir: Dir, size: usize, aligned: bool) {
+    pub fn transfer(perf: &mut PerfCounters, dir: Dir, size: usize, aligned: bool) {
         let cycles = Self::transfer_cycles_aligned(size, aligned);
         perf.cycles += cycles;
         perf.dma_cycles += cycles;
         perf.dma_transactions += 1;
         perf.dma_bytes += size as u64;
+        crate::trace::emit_dma(dir, None, 0, size, aligned);
     }
 
     /// Issue a transfer from a CPE *while the other CPEs are also
@@ -72,11 +71,42 @@ impl DmaEngine {
     ///   summed over all CPEs it floors the parallel region's wall time
     ///   (see `CoreGroup::spawn`), which is what "achieving peak DMA
     ///   bandwidth" means in the paper.
-    pub fn transfer_shared(perf: &mut PerfCounters, _dir: Dir, size: usize, aligned: bool) {
-        use crate::params::{DMA_LATENCY_CYCLES, SINGLE_CPE_DMA_GBS};
+    pub fn transfer_shared(perf: &mut PerfCounters, dir: Dir, size: usize, aligned: bool) {
         if size == 0 {
             return;
         }
+        Self::shared_cost(perf, size, aligned);
+        crate::trace::emit_dma(dir, None, 0, size, aligned);
+    }
+
+    /// Address-aware variant of [`Self::transfer_shared`]: the transfer
+    /// targets byte offset `byte_off` of logical shared region `region`.
+    /// Alignment is *derived from the address* (the §3.7 128-bit rule)
+    /// rather than asserted by the caller, and the full placement is
+    /// emitted to the [`trace`](crate::trace) sink so the `swcheck`
+    /// passes can lint granularity/alignment and detect cross-CPE write
+    /// overlap. Cost model is identical to `transfer_shared`.
+    pub fn transfer_shared_at(
+        perf: &mut PerfCounters,
+        dir: Dir,
+        region: crate::trace::RegionId,
+        byte_off: usize,
+        size: usize,
+    ) {
+        if size == 0 {
+            return;
+        }
+        let aligned = Self::is_aligned(byte_off);
+        Self::shared_cost(perf, size, aligned);
+        crate::trace::emit_dma(dir, Some(region), byte_off, size, aligned);
+        if dir == Dir::Put {
+            crate::trace::shared_write(region, byte_off / 4, (byte_off + size).div_ceil(4));
+        }
+    }
+
+    /// Roofline composition shared by `transfer_shared{,_at}`.
+    fn shared_cost(perf: &mut PerfCounters, size: usize, aligned: bool) {
+        use crate::params::{DMA_LATENCY_CYCLES, SINGLE_CPE_DMA_GBS};
         let mut gbs = dma_bandwidth_gbs(size).min(SINGLE_CPE_DMA_GBS);
         if !aligned {
             gbs /= MISALIGN_PENALTY;
@@ -142,6 +172,45 @@ mod tests {
         assert_eq!(p.dma_bytes, 512);
         assert_eq!(p.cycles, p.dma_cycles);
         assert!(p.cycles > 0);
+    }
+
+    #[test]
+    fn addressed_transfer_matches_shared_cost_and_traces() {
+        use crate::trace::{self, Event};
+        // Same cost as the size-only call when the address is aligned...
+        let mut a = PerfCounters::new();
+        let mut b = PerfCounters::new();
+        DmaEngine::transfer_shared(&mut a, Dir::Get, 640, true);
+        DmaEngine::transfer_shared_at(&mut b, Dir::Get, 1, 1280, 640);
+        assert_eq!(a, b);
+        // ...and the misaligned penalty when it is not.
+        let mut c = PerfCounters::new();
+        DmaEngine::transfer_shared_at(&mut c, Dir::Get, 1, 8, 640);
+        assert!(c.cycles > b.cycles);
+        // The event stream records placement, and puts appear as writes.
+        let s = trace::Session::begin();
+        let mut p = PerfCounters::new();
+        DmaEngine::transfer_shared_at(&mut p, Dir::Put, 3, 32, 48);
+        let ev = s.finish();
+        assert!(ev.iter().any(|e| matches!(
+            e,
+            Event::Dma {
+                region: Some(3),
+                byte_off: 32,
+                bytes: 48,
+                aligned: true,
+                ..
+            }
+        )));
+        assert!(ev.iter().any(|e| matches!(
+            e,
+            Event::SharedWrite {
+                region: 3,
+                word_lo: 8,
+                word_hi: 20,
+                ..
+            }
+        )));
     }
 
     #[test]

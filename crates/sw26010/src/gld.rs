@@ -20,6 +20,7 @@ pub fn gld_dependent(perf: &mut PerfCounters, n: u64) {
     perf.cycles += cycles;
     perf.gld_cycles += cycles;
     perf.gld_ops += n;
+    crate::trace::emit_gld(n);
 }
 
 /// Issue `n` independent global loads/stores that the hardware can
@@ -31,6 +32,7 @@ pub fn gld_pipelined(perf: &mut PerfCounters, n: u64) {
     perf.cycles += cycles;
     perf.gld_cycles += cycles;
     perf.gld_ops += n;
+    crate::trace::emit_gld(n);
 }
 
 /// Cost of loading `bytes` of non-contiguous data one word at a time.

@@ -68,6 +68,7 @@ impl Ldm {
     /// Reserve `bytes` of LDM under `label`. Fails if capacity is exceeded.
     pub fn reserve(&mut self, label: &'static str, bytes: usize) -> Result<(), LdmOverflow> {
         if self.in_use + bytes > self.capacity {
+            crate::trace::emit_ldm(label, bytes, self.in_use, self.capacity, false);
             return Err(LdmOverflow {
                 requested: bytes,
                 in_use: self.in_use,
@@ -77,6 +78,7 @@ impl Ldm {
         }
         self.in_use += bytes;
         self.reservations.push((label, bytes));
+        crate::trace::emit_ldm(label, bytes, self.in_use, self.capacity, true);
         Ok(())
     }
 

@@ -45,6 +45,7 @@
 //! - [`bitmap`] — the §3.3 update-mark bit vector
 //! - [`cg`] — core group: MPE + 64-CPE spawn/join with per-CPE metering
 //! - [`noc`] — intra-chip CG-to-CG transfers
+//! - [`trace`] — event sink feeding the `swcheck` invariant checker
 
 pub mod bitmap;
 pub mod cache;
@@ -56,9 +57,10 @@ pub mod noc;
 pub mod params;
 pub mod perf;
 pub mod simd;
+pub mod trace;
 
 pub use bitmap::BitMap;
-pub use cache::{CacheGeometry, CacheStats, ReadCache, WriteCache};
+pub use cache::{CacheConfigError, CacheGeometry, CacheStats, ReadCache, WriteCache};
 pub use cg::{CoreGroup, CpeCtx, MpeCtx, SpawnResult};
 pub use dma::{Dir, DmaEngine};
 pub use ldm::{Ldm, LdmOverflow};

@@ -188,7 +188,7 @@ pub fn transpose3_to_interleaved(x: FloatV4, y: FloatV4, z: FloatV4) -> [FloatV4
     let a = FloatV4::vshuff(x, y, [0, 2, 0, 2]); // X1 X3 Y1 Y3
     let b = FloatV4::vshuff(z, x, [0, 2, 1, 3]); // Z1 Z3 X2 X4
     let c = FloatV4::vshuff(y, z, [1, 3, 1, 3]); // Y2 Y4 Z2 Z4
-    // Stage 2.
+                                                 // Stage 2.
     let t0 = FloatV4::vshuff(a, b, [0, 2, 0, 2]); // X1 Y1 Z1 X2
     let t1 = FloatV4::vshuff(c, a, [0, 2, 1, 3]); // Y2 Z2 X3 Y3
     let t2 = FloatV4::vshuff(b, c, [1, 3, 1, 3]); // Z3 X4 Y4 Z4

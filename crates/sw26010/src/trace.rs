@@ -1,0 +1,449 @@
+//! Event tracing for the `swcheck` invariant checker.
+//!
+//! Every metered architectural interaction — DMA transfers, gld/gst
+//! bursts, LDM reservations, write-cache line state, Bit-Map marks —
+//! can emit an [`Event`] into a process-global sink. The sink is off by
+//! default and each emit site guards on one relaxed atomic load, so
+//! kernels pay nothing when no checker is attached.
+//!
+//! A [`Session`] turns the sink on, drains it on [`Session::finish`],
+//! and holds a global lock for its lifetime: capture is process-global,
+//! so concurrent sessions (e.g. parallel `cargo test` threads) are
+//! serialized rather than interleaved.
+//!
+//! Spawn regions are numbered by a monotonically increasing **epoch**
+//! ([`CoreGroup::spawn`](crate::cg::CoreGroup::spawn) opens one per
+//! parallel region). Events carry the epoch they occurred in plus the
+//! issuing CPE id (`None` for MPE/host code), which is what lets the
+//! dynamic race detector scope "concurrent" to "same spawn region".
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use crate::dma::Dir;
+
+/// Identifier of a logical shared-memory region (a main-memory array the
+/// kernel reads or writes). Region numbering is chosen by the kernel
+/// layer; the substrate only threads the ids through to events.
+pub type RegionId = u32;
+
+/// One traced architectural interaction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A CPE parallel region opened.
+    SpawnBegin {
+        /// Epoch number of the region.
+        epoch: u64,
+        /// CPEs participating.
+        n_cpes: usize,
+    },
+    /// A CPE parallel region joined.
+    SpawnEnd {
+        /// Epoch number of the region.
+        epoch: u64,
+    },
+    /// A DMA transfer was issued.
+    Dma {
+        /// Issuing CPE, or `None` for MPE/host code.
+        cpe: Option<usize>,
+        /// Spawn epoch current at issue time.
+        epoch: u64,
+        /// Transfer direction.
+        dir: Dir,
+        /// Target region for address-aware transfers
+        /// ([`DmaEngine::transfer_shared_at`](crate::dma::DmaEngine::transfer_shared_at)),
+        /// `None` for size-only metering.
+        region: Option<RegionId>,
+        /// Byte offset inside `region` (0 when `region` is `None`).
+        byte_off: usize,
+        /// Transfer size in bytes.
+        bytes: usize,
+        /// Whether the main-memory address satisfied the §3.7 128-bit rule.
+        aligned: bool,
+    },
+    /// A burst of gld/gst operations was issued.
+    Gld {
+        /// Issuing CPE, or `None` for MPE/host code.
+        cpe: Option<usize>,
+        /// Spawn epoch current at issue time.
+        epoch: u64,
+        /// Number of gld/gst operations.
+        ops: u64,
+    },
+    /// An LDM reservation was attempted.
+    LdmReserve {
+        /// Reserving CPE, or `None` for MPE/host code.
+        cpe: Option<usize>,
+        /// Spawn epoch current at issue time.
+        epoch: u64,
+        /// Reservation label.
+        label: &'static str,
+        /// Bytes requested.
+        bytes: usize,
+        /// Ledger usage after the attempt (unchanged if it failed).
+        in_use_after: usize,
+        /// Ledger capacity.
+        capacity: usize,
+        /// Whether the reservation fit.
+        ok: bool,
+    },
+    /// A direct (non-DMA) write to a shared region, e.g. the Pkg rung's
+    /// per-pair read-modify-write.
+    SharedWrite {
+        /// Writing CPE, or `None` for MPE/host code.
+        cpe: Option<usize>,
+        /// Spawn epoch current at issue time.
+        epoch: u64,
+        /// Written region.
+        region: RegionId,
+        /// First written word (f32 granularity).
+        word_lo: usize,
+        /// One past the last written word.
+        word_hi: usize,
+    },
+    /// A Bit-Map mark transitioned clear -> set.
+    MarkSet {
+        /// Marking CPE, or `None` for MPE/host code.
+        cpe: Option<usize>,
+        /// Spawn epoch current at issue time.
+        epoch: u64,
+        /// Owning write-cache trace id.
+        cache: u64,
+        /// Marked line number.
+        line: usize,
+    },
+    /// The reduction consumed one line of one CPE copy.
+    ReduceLine {
+        /// Reducing CPE, or `None` for MPE/host code.
+        cpe: Option<usize>,
+        /// Spawn epoch current at issue time.
+        epoch: u64,
+        /// Trace id of the write cache that produced the copy.
+        cache: u64,
+        /// Reduced line number.
+        line: usize,
+    },
+    /// A write cache was dropped while still holding dirty lines.
+    WcDropDirty {
+        /// Dropping CPE, or `None` for MPE/host code.
+        cpe: Option<usize>,
+        /// Spawn epoch current at drop time.
+        epoch: u64,
+        /// Trace id of the dropped cache.
+        cache: u64,
+        /// Backing line numbers still dirty.
+        lines: Vec<usize>,
+    },
+    /// A named phase of a kernel completed (from
+    /// [`Breakdown::add`](crate::perf::Breakdown::add)).
+    Phase {
+        /// Phase label.
+        label: String,
+        /// Wall cycles of the phase.
+        cycles: u64,
+    },
+}
+
+/// Region binding of a software cache: where its backing array sits in
+/// the traced address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Binding {
+    /// Region the backing array belongs to.
+    pub region: RegionId,
+    /// Word offset of the backing array's element 0 inside the region.
+    pub base_words: usize,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EVENTS: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+static NEXT_CACHE_ID: AtomicU64 = AtomicU64::new(1);
+static SESSION: Mutex<()> = Mutex::new(());
+
+thread_local! {
+    static CURRENT_CPE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Whether a session is currently capturing events.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn events() -> MutexGuard<'static, Vec<Event>> {
+    EVENTS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn push(ev: Event) {
+    events().push(ev);
+}
+
+/// CPE id of the calling thread (`None` on MPE/host threads).
+pub fn current_cpe() -> Option<usize> {
+    CURRENT_CPE.with(|c| c.get())
+}
+
+/// Tag the calling thread as executing CPE `id` (or untag with `None`).
+/// Called by `CoreGroup::spawn` around each kernel instance.
+pub fn set_current_cpe(id: Option<usize>) {
+    CURRENT_CPE.with(|c| c.set(id));
+}
+
+/// The epoch of the most recently opened spawn region.
+pub fn current_epoch() -> u64 {
+    EPOCH.load(Ordering::Relaxed)
+}
+
+/// Allocate a process-unique trace id for a software cache instance.
+pub fn next_cache_id() -> u64 {
+    NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Open a new spawn epoch, returning its number.
+pub fn begin_region(n_cpes: usize) -> u64 {
+    let epoch = EPOCH.fetch_add(1, Ordering::Relaxed) + 1;
+    if enabled() {
+        push(Event::SpawnBegin { epoch, n_cpes });
+    }
+    epoch
+}
+
+/// Close the spawn epoch opened by [`begin_region`].
+pub fn end_region(epoch: u64) {
+    if enabled() {
+        push(Event::SpawnEnd { epoch });
+    }
+}
+
+/// Record a DMA transfer (called by the DMA engine).
+pub fn emit_dma(dir: Dir, region: Option<RegionId>, byte_off: usize, bytes: usize, aligned: bool) {
+    if !enabled() {
+        return;
+    }
+    push(Event::Dma {
+        cpe: current_cpe(),
+        epoch: current_epoch(),
+        dir,
+        region,
+        byte_off,
+        bytes,
+        aligned,
+    });
+}
+
+/// Record a gld/gst burst (called by the gld cost model).
+pub fn emit_gld(ops: u64) {
+    if !enabled() {
+        return;
+    }
+    push(Event::Gld {
+        cpe: current_cpe(),
+        epoch: current_epoch(),
+        ops,
+    });
+}
+
+/// Record an LDM reservation attempt (called by the LDM ledger).
+pub fn emit_ldm(label: &'static str, bytes: usize, in_use_after: usize, capacity: usize, ok: bool) {
+    if !enabled() {
+        return;
+    }
+    push(Event::LdmReserve {
+        cpe: current_cpe(),
+        epoch: current_epoch(),
+        label,
+        bytes,
+        in_use_after,
+        capacity,
+        ok,
+    });
+}
+
+/// Record a direct write of `[word_lo, word_hi)` into `region` by the
+/// calling core. Kernels annotate non-DMA shared-memory writes with this
+/// so the race detector sees them.
+pub fn shared_write(region: RegionId, word_lo: usize, word_hi: usize) {
+    if !enabled() {
+        return;
+    }
+    push(Event::SharedWrite {
+        cpe: current_cpe(),
+        epoch: current_epoch(),
+        region,
+        word_lo,
+        word_hi,
+    });
+}
+
+/// Record a Bit-Map mark transition (called by `BitMap::set_owned`).
+pub fn emit_mark_set(cache: u64, line: usize) {
+    if !enabled() {
+        return;
+    }
+    push(Event::MarkSet {
+        cpe: current_cpe(),
+        epoch: current_epoch(),
+        cache,
+        line,
+    });
+}
+
+/// Record that the reduction consumed `line` of the copy produced by
+/// write cache `cache`. Kernels annotate their reduce phase with this.
+pub fn reduce_line(cache: u64, line: usize) {
+    if !enabled() {
+        return;
+    }
+    push(Event::ReduceLine {
+        cpe: current_cpe(),
+        epoch: current_epoch(),
+        cache,
+        line,
+    });
+}
+
+/// Record a write cache dropped with dirty lines (called from its `Drop`).
+pub fn emit_wc_drop_dirty(cache: u64, lines: Vec<usize>) {
+    if !enabled() {
+        return;
+    }
+    push(Event::WcDropDirty {
+        cpe: current_cpe(),
+        epoch: current_epoch(),
+        cache,
+        lines,
+    });
+}
+
+/// Record a completed kernel phase (called by `Breakdown::add`).
+pub fn emit_phase(label: &str, cycles: u64) {
+    if !enabled() {
+        return;
+    }
+    push(Event::Phase {
+        label: label.to_string(),
+        cycles,
+    });
+}
+
+/// An active capture session. Holds the global session lock; dropping it
+/// (or calling [`Session::finish`]) stops capture.
+#[derive(Debug)]
+pub struct Session {
+    _guard: Option<MutexGuard<'static, ()>>,
+}
+
+impl Session {
+    /// Start capturing. Blocks until any other session has finished,
+    /// then clears the sink.
+    pub fn begin() -> Self {
+        let guard = SESSION.lock().unwrap_or_else(|e| e.into_inner());
+        events().clear();
+        ENABLED.store(true, Ordering::SeqCst);
+        Self {
+            _guard: Some(guard),
+        }
+    }
+
+    /// Stop capturing and return every event recorded since `begin`.
+    pub fn finish(self) -> Vec<Event> {
+        ENABLED.store(false, Ordering::SeqCst);
+        std::mem::take(&mut *events())
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        assert!(!enabled());
+        emit_gld(10);
+        shared_write(1, 0, 4);
+        let s = Session::begin();
+        assert!(s.finish().is_empty());
+    }
+
+    #[test]
+    fn session_captures_and_drains() {
+        let s = Session::begin();
+        emit_gld(3);
+        emit_dma(Dir::Get, Some(7), 16, 128, true);
+        let ev = s.finish();
+        assert_eq!(ev.len(), 2);
+        assert!(matches!(ev[0], Event::Gld { ops: 3, .. }));
+        assert!(matches!(
+            ev[1],
+            Event::Dma {
+                region: Some(7),
+                byte_off: 16,
+                bytes: 128,
+                aligned: true,
+                ..
+            }
+        ));
+        // Sink is off again; nothing leaks into the next session.
+        emit_gld(99);
+        let s2 = Session::begin();
+        let ev2 = s2.finish();
+        assert!(ev2.is_empty());
+    }
+
+    #[test]
+    fn spawn_epochs_are_monotone_and_bracketed() {
+        let s = Session::begin();
+        let e1 = begin_region(4);
+        end_region(e1);
+        let e2 = begin_region(8);
+        end_region(e2);
+        assert!(e2 > e1);
+        let ev = s.finish();
+        assert_eq!(
+            ev,
+            vec![
+                Event::SpawnBegin {
+                    epoch: e1,
+                    n_cpes: 4
+                },
+                Event::SpawnEnd { epoch: e1 },
+                Event::SpawnBegin {
+                    epoch: e2,
+                    n_cpes: 8
+                },
+                Event::SpawnEnd { epoch: e2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn cpe_tagging_is_thread_local() {
+        let s = Session::begin();
+        set_current_cpe(Some(5));
+        emit_gld(1);
+        set_current_cpe(None);
+        std::thread::spawn(|| {
+            // Fresh thread: untagged.
+            emit_gld(2);
+        })
+        .join()
+        .unwrap();
+        let ev = s.finish();
+        assert!(matches!(ev[0], Event::Gld { cpe: Some(5), .. }));
+        assert!(matches!(ev[1], Event::Gld { cpe: None, .. }));
+    }
+
+    #[test]
+    fn cache_ids_are_unique() {
+        let a = next_cache_id();
+        let b = next_cache_id();
+        assert_ne!(a, b);
+    }
+}

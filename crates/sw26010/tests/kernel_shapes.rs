@@ -2,7 +2,7 @@
 //! cost shapes that the paper's optimizations exploit must hold for any
 //! kernel built on this substrate.
 
-use sw26010::cache::{CacheGeometry, ReadCache, WriteCache};
+use sw26010::cache::{CacheGeometry, WriteCache};
 use sw26010::cg::CoreGroup;
 use sw26010::dma::{Dir, DmaEngine};
 use sw26010::perf::PerfCounters;

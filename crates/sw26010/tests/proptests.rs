@@ -9,9 +9,8 @@ use sw26010::dma::{Dir, DmaEngine};
 use sw26010::perf::PerfCounters;
 
 fn geometry() -> impl Strategy<Value = CacheGeometry> {
-    (0u32..4, 1usize..=2, 0u32..4, 1usize..8).prop_map(|(sets, ways, line, words)| {
-        CacheGeometry::new(1 << sets, ways, 1 << line, words)
-    })
+    (0u32..4, 1usize..=2, 0u32..4, 1usize..8)
+        .prop_map(|(sets, ways, line, words)| CacheGeometry::new(1 << sets, ways, 1 << line, words))
 }
 
 proptest! {
@@ -62,6 +61,36 @@ proptest! {
         }
         cache.flush(&mut perf, &mut copy);
         prop_assert_eq!(copy, naive);
+    }
+
+    /// Any update sequence ends with zero dirty lines after a flush:
+    /// every accumulated line reaches the backing copy, so a flushed
+    /// cache can be dropped without tripping the swcheck SWC102
+    /// unflushed-dirty-line invariant.
+    #[test]
+    fn flush_leaves_no_dirty_lines(
+        sets in 0u32..3,
+        line in 0u32..3,
+        marks in any::<bool>(),
+        updates in prop::collection::vec(0usize..96, 1..300),
+    ) {
+        let geo = CacheGeometry::new(1 << sets, 1, 1 << line, 2);
+        let mut copy = vec![0.0f32; 96 * 2];
+        let mut cache = if marks {
+            WriteCache::with_marks(geo, 96)
+        } else {
+            WriteCache::new(geo)
+        };
+        let mut perf = PerfCounters::new();
+        for &idx in &updates {
+            cache.update(&mut perf, &mut copy, idx, &[1.0, -1.0]);
+        }
+        // Updates leave at least one resident (dirty) line...
+        prop_assert!(!cache.dirty_lines().is_empty());
+        // ...and a flush writes every one of them back.
+        cache.flush(&mut perf, &mut copy);
+        prop_assert_eq!(cache.dirty_lines(), Vec::<usize>::new());
+        prop_assert!(cache.stats().writebacks > 0);
     }
 
     /// With marks, untouched lines are never fetched, and the mark bits

@@ -1,0 +1,176 @@
+//! Seeded-violation fixtures: five event streams, each produced by
+//! driving the *real* substrate primitives into a known invariant
+//! violation, so `swcheck --fixtures` verifies the whole detection
+//! chain — instrumentation hooks, event plumbing, and both passes —
+//! not just the pass logic over hand-written events.
+//!
+//! Each fixture captures its stream under a live [`trace::Session`],
+//! exactly like a traced kernel run, and names the one invariant id the
+//! checker must report for it.
+
+use sw26010::cache::{CacheGeometry, WriteCache};
+use sw26010::dma::{Dir, DmaEngine};
+use sw26010::ldm::Ldm;
+use sw26010::perf::PerfCounters;
+use sw26010::trace::{self, Event};
+use swgmx::check::KernelContract;
+
+/// One seeded violation: a captured event stream plus the invariant id
+/// the checker is expected to report for it.
+pub struct Fixture {
+    /// Fixture name, shown in the self-test report.
+    pub name: &'static str,
+    /// Invariant id that must appear in the checker's findings.
+    pub expected: &'static str,
+    /// Contract the stream should be checked under.
+    pub contract: KernelContract,
+    /// The captured events.
+    pub events: Vec<Event>,
+}
+
+/// Build all five fixtures. Each capture takes the global session lock,
+/// so this must not be called while another session is live on the same
+/// thread (it would self-deadlock by design — sessions don't nest).
+pub fn all() -> Vec<Fixture> {
+    vec![
+        cross_cpe_write_race(),
+        unflushed_dirty_line(),
+        bitmap_reduction_mismatch(),
+        misaligned_dma(),
+        ldm_over_budget(),
+    ]
+}
+
+/// Two CPEs in the same spawn epoch DMA-put overlapping byte ranges of
+/// one region — the write conflict the redundant-copy scheme exists to
+/// prevent.
+fn cross_cpe_write_race() -> Fixture {
+    let session = trace::Session::begin();
+    let mut perf = PerfCounters::new();
+    let epoch = trace::begin_region(2);
+    trace::set_current_cpe(Some(0));
+    DmaEngine::transfer_shared_at(&mut perf, Dir::Put, 9, 0, 64);
+    trace::set_current_cpe(Some(1));
+    // Bytes [32, 96) overlap CPE 0's [0, 64) with no barrier between.
+    DmaEngine::transfer_shared_at(&mut perf, Dir::Put, 9, 32, 64);
+    trace::set_current_cpe(None);
+    trace::end_region(epoch);
+    Fixture {
+        name: "cross-CPE write race",
+        expected: "SWC101",
+        contract: KernelContract::strict("fixture:race"),
+        events: session.finish(),
+    }
+}
+
+/// A deferred-update write cache is dropped with an accumulated line
+/// that was never flushed — the force contribution silently vanishes.
+fn unflushed_dirty_line() -> Fixture {
+    let session = trace::Session::begin();
+    let geo = CacheGeometry::paper_default(12);
+    let mut copy = vec![0.0f32; 64 * 12];
+    let mut perf = PerfCounters::new();
+    {
+        let mut wc = WriteCache::new(geo);
+        wc.update(&mut perf, &mut copy, 3, &[1.0; 12]);
+        // No flush: dropping here leaks the dirty line.
+    }
+    Fixture {
+        name: "unflushed dirty write-cache line",
+        expected: "SWC102",
+        contract: KernelContract::strict("fixture:unflushed"),
+        events: session.finish(),
+    }
+}
+
+/// Bit-Map marks two lines but the reduction only consumes one — the
+/// Alg. 3/4 contract is broken and the skipped line's forces are lost.
+fn bitmap_reduction_mismatch() -> Fixture {
+    let session = trace::Session::begin();
+    let geo = CacheGeometry::paper_default(12);
+    let mut copy = vec![0.0f32; 64 * 12];
+    let mut perf = PerfCounters::new();
+    let mut wc = WriteCache::with_marks(geo, 64);
+    wc.update(&mut perf, &mut copy, 0, &[1.0; 12]); // marks line 0
+    wc.update(&mut perf, &mut copy, 8, &[1.0; 12]); // marks line 1
+    wc.flush(&mut perf, &mut copy);
+    // A buggy reduction that consumes line 0 and forgets line 1.
+    trace::reduce_line(wc.trace_id(), 0);
+    Fixture {
+        name: "Bit-Map / reduction mismatch",
+        expected: "SWC103",
+        contract: KernelContract::strict("fixture:marks"),
+        events: session.finish(),
+    }
+}
+
+/// A region-tagged DMA transfer from a main-memory address that breaks
+/// the §3.7 128-bit alignment rule.
+fn misaligned_dma() -> Fixture {
+    let session = trace::Session::begin();
+    let mut perf = PerfCounters::new();
+    // Byte offset 4 is not 16-byte aligned.
+    DmaEngine::transfer_shared_at(&mut perf, Dir::Get, 7, 4, 80);
+    Fixture {
+        name: "misaligned region-tagged DMA",
+        expected: "SWC001",
+        contract: KernelContract::strict("fixture:align"),
+        events: session.finish(),
+    }
+}
+
+/// An LDM reservation plan that exceeds the 64 KB budget.
+fn ldm_over_budget() -> Fixture {
+    let session = trace::Session::begin();
+    let mut ldm = Ldm::new();
+    ldm.reserve("caches", 60 * 1024).expect("fits");
+    // 60 KB + 8 KB > 64 KB: the ledger rejects it and the event records it.
+    let _ = ldm.reserve("spill buffer", 8 * 1024);
+    Fixture {
+        name: "LDM over budget",
+        expected: "SWC003",
+        contract: KernelContract::strict("fixture:ldm"),
+        events: session.finish(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_events, error_count};
+
+    #[test]
+    fn every_fixture_is_detected_with_its_expected_id() {
+        for f in all() {
+            let v = check_events(&f.contract, &f.events);
+            assert!(
+                v.iter().any(|v| v.id == f.expected),
+                "fixture `{}` not detected: expected {}, got {:?}",
+                f.name,
+                f.expected,
+                v.iter().map(|v| v.id).collect::<Vec<_>>()
+            );
+            assert!(
+                error_count(&v) > 0,
+                "fixture `{}` produced no errors",
+                f.name
+            );
+        }
+    }
+
+    #[test]
+    fn fixture_streams_are_nonempty_and_distinctly_seeded() {
+        let fixtures = all();
+        assert_eq!(fixtures.len(), 5);
+        let mut expected: Vec<_> = fixtures.iter().map(|f| f.expected).collect();
+        expected.dedup();
+        assert_eq!(expected.len(), 5, "each fixture seeds a distinct invariant");
+        for f in &fixtures {
+            assert!(
+                !f.events.is_empty(),
+                "fixture `{}` captured nothing",
+                f.name
+            );
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! # swcheck — invariant checker + CPE race detector
+//!
+//! The kernels in this workspace are *simulations* of SW26010 CPE code:
+//! they run functionally on the host while metering DMA, LDM, and
+//! gld/gst costs. That means an entire class of Sunway porting bugs —
+//! misaligned DMA, LDM overdraft, cross-CPE write races, forgotten
+//! write-cache flushes, Bit-Map/reduction drift — would *not* crash the
+//! simulation; they would silently produce a kernel that could never run
+//! on the real chip (or would corrupt forces if it did).
+//!
+//! `swcheck` closes that gap with two cooperating passes over the event
+//! stream a traced kernel run emits ([`sw26010::trace`]):
+//!
+//! - **[`lint`]** — a static replay of the metered DMA/LDM/gld events
+//!   enforcing the paper's transfer discipline: 128-bit DMA alignment
+//!   (§3.7), package-granularity transfers (§3.1: no sub-32 B region
+//!   traffic), the 64 KB LDM budget with headroom reporting, and no
+//!   gld/gst on CPE hot paths that have cache equivalents.
+//! - **[`dynamic`]** — an epoch-scoped shadow of shared memory detecting
+//!   conflicting unsynchronized cross-CPE writes, write caches dropped
+//!   with unflushed dirty lines, and Bit-Map marks that disagree with
+//!   the reduction's consumed-line set (Alg. 3/4 coherence).
+//!
+//! Each finding is a [`Violation`] carrying a stable invariant id:
+//!
+//! | id     | pass    | meaning                                        |
+//! |--------|---------|------------------------------------------------|
+//! | SWC001 | lint    | region-tagged DMA breaks 128-bit alignment     |
+//! | SWC002 | lint    | sub-package (< 32 B) region-tagged DMA         |
+//! | SWC003 | lint    | LDM reservation over the 64 KB budget          |
+//! | SWC004 | lint    | LDM peak above 95% capacity (warning)          |
+//! | SWC005 | lint    | gld/gst on a CPE hot path with a cache path    |
+//! | SWC101 | dynamic | conflicting cross-CPE writes, same spawn epoch |
+//! | SWC102 | dynamic | write cache dropped with dirty lines           |
+//! | SWC103 | dynamic | marked line never consumed by the reduction    |
+//! | SWC104 | dynamic | reduction consumed an unmarked line            |
+//!
+//! The `swcheck` binary runs every kernel variant of the ladder under
+//! both passes and exits nonzero on violations; `swcheck --fixtures`
+//! replays five seeded-violation [`fixtures`] and verifies each one is
+//! caught — the checker checking itself.
+
+pub mod dynamic;
+pub mod fixtures;
+pub mod lint;
+
+use sw26010::trace::Event;
+use swgmx::check::KernelContract;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not disqualifying (reported, does not fail the run).
+    Warning,
+    /// The kernel could not run correctly on the real chip.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One invariant violation found in a traced kernel run.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Stable invariant id (`SWC0xx` lint, `SWC1xx` dynamic).
+    pub id: &'static str,
+    /// Name of the kernel (from its [`KernelContract`]).
+    pub kernel: String,
+    /// Finding severity.
+    pub severity: Severity,
+    /// Human-readable description with aggregate counts.
+    pub message: String,
+}
+
+impl Violation {
+    fn new(id: &'static str, kernel: &str, severity: Severity, message: String) -> Self {
+        Self {
+            id,
+            kernel: kernel.to_string(),
+            severity,
+            message,
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.id, self.severity, self.kernel, self.message
+        )
+    }
+}
+
+/// Run both passes over one traced run's events, errors first.
+pub fn check_events(contract: &KernelContract, events: &[Event]) -> Vec<Violation> {
+    let mut v = lint::lint(contract, events);
+    v.extend(dynamic::detect(contract, events));
+    v.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.id.cmp(b.id)));
+    v
+}
+
+/// Number of error-severity violations in a finding list.
+pub fn error_count(violations: &[Violation]) -> usize {
+    violations
+        .iter()
+        .filter(|v| v.severity == Severity::Error)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_grep_friendly() {
+        let v = Violation::new("SWC001", "rma", Severity::Error, "2 misaligned".into());
+        assert_eq!(v.to_string(), "SWC001 [error] rma: 2 misaligned");
+    }
+
+    #[test]
+    fn errors_sort_before_warnings() {
+        let contract = KernelContract::strict("t");
+        // An empty stream is clean; ordering is exercised by pass output
+        // elsewhere — here just pin the severity ordering itself.
+        assert!(Severity::Error > Severity::Warning);
+        assert!(check_events(&contract, &[]).is_empty());
+    }
+}

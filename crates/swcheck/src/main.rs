@@ -1,0 +1,149 @@
+//! `swcheck` — run every kernel variant under the invariant checker.
+//!
+//! ```text
+//! swcheck [--n-mol N] [--seed S] [variant ...]   check kernel runs
+//! swcheck --fixtures                             seeded-violation self-test
+//! ```
+//!
+//! With no variant arguments all five ladder variants (`ori`,
+//! `gldnaive`, `rma`, `rca`, `ustc`) are traced and checked. The exit
+//! code is nonzero if any error-severity violation is found (or, with
+//! `--fixtures`, if any seeded violation goes undetected).
+
+use std::process::ExitCode;
+
+use swcheck::lint::ldm_report;
+use swcheck::{check_events, error_count, fixtures, Severity};
+use swgmx::check::{run_traced, Variant};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut n_mol = 200usize;
+    let mut seed = 1u64;
+    let mut run_fixtures = false;
+    let mut variants: Vec<Variant> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fixtures" => run_fixtures = true,
+            "--n-mol" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => n_mol = v,
+                _ => return usage("--n-mol needs a positive integer argument"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage("--seed needs an integer argument"),
+            },
+            "--help" | "-h" => {
+                print!("{}", USAGE);
+                return ExitCode::SUCCESS;
+            }
+            name => match Variant::from_name(name) {
+                Some(v) => variants.push(v),
+                None => return usage(&format!("unknown variant `{name}`")),
+            },
+        }
+    }
+
+    if run_fixtures {
+        return self_test();
+    }
+    if variants.is_empty() {
+        variants = Variant::ALL.to_vec();
+    }
+    check_variants(&variants, n_mol, seed)
+}
+
+const USAGE: &str = "\
+usage: swcheck [--n-mol N] [--seed S] [variant ...]
+       swcheck --fixtures
+
+variants: ori gldnaive rma rca ustc (default: all five)
+";
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("swcheck: {err}");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn check_variants(variants: &[Variant], n_mol: usize, seed: u64) -> ExitCode {
+    let mut total_errors = 0usize;
+    for &variant in variants {
+        let run = run_traced(variant, n_mol, seed);
+        let violations = check_events(&run.contract, &run.events);
+        let errors = error_count(&violations);
+        total_errors += errors;
+
+        let verdict = if errors > 0 {
+            "FAIL"
+        } else if violations.is_empty() {
+            "ok"
+        } else {
+            "ok (warnings)"
+        };
+        println!(
+            "{:<9} {:>7} events {:>12} cycles  {}",
+            variant.name(),
+            run.events.len(),
+            run.cycles,
+            verdict
+        );
+        if let Some(r) = ldm_report(&run.events) {
+            println!(
+                "          LDM peak {} B / {} B ({:.1}%), headroom {} B",
+                r.peak_bytes,
+                r.capacity_bytes,
+                100.0 * r.utilization(),
+                r.headroom_bytes()
+            );
+        }
+        for v in &violations {
+            let marker = match v.severity {
+                Severity::Error => "  !!",
+                Severity::Warning => "  --",
+            };
+            println!("{marker} {v}");
+        }
+    }
+    if total_errors > 0 {
+        eprintln!(
+            "swcheck: {total_errors} error(s) across {} variant(s)",
+            variants.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn self_test() -> ExitCode {
+    let mut failures = 0usize;
+    for f in fixtures::all() {
+        let violations = check_events(&f.contract, &f.events);
+        let detected = violations.iter().any(|v| v.id == f.expected);
+        if detected {
+            println!("PASS {:<10} {}", f.expected, f.name);
+            for v in violations.iter().filter(|v| v.id == f.expected) {
+                println!("       {v}");
+            }
+        } else {
+            failures += 1;
+            println!(
+                "FAIL {:<10} {} — expected id not reported",
+                f.expected, f.name
+            );
+            for v in &violations {
+                println!("       got: {v}");
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("swcheck: {failures} fixture(s) undetected");
+        ExitCode::FAILURE
+    } else {
+        println!("all 5 seeded violations detected");
+        ExitCode::SUCCESS
+    }
+}

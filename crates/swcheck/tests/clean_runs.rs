@@ -1,0 +1,43 @@
+//! End-to-end: every kernel variant of the ladder, traced on a real
+//! water box, must come out of both checker passes with zero
+//! error-severity findings — and the traces must be substantive (the
+//! checker passing on an empty stream proves nothing).
+
+use swcheck::{check_events, error_count};
+use swgmx::check::{run_traced, Variant};
+
+#[test]
+fn all_five_variants_check_clean() {
+    for variant in Variant::ALL {
+        let run = run_traced(variant, 200, 1);
+        assert!(
+            !run.events.is_empty(),
+            "{}: traced run captured no events",
+            variant.name()
+        );
+        let violations = check_events(&run.contract, &run.events);
+        let errors: Vec<_> = violations
+            .iter()
+            .filter(|v| v.severity == swcheck::Severity::Error)
+            .map(|v| v.to_string())
+            .collect();
+        assert!(
+            errors.is_empty(),
+            "{}: {} error(s): {:#?}",
+            variant.name(),
+            errors.len(),
+            errors
+        );
+    }
+}
+
+#[test]
+fn checker_is_deterministic_across_runs() {
+    // Same variant, same seed: identical verdicts (the shared global
+    // trace sink must not leak state between sessions).
+    for _ in 0..2 {
+        let run = run_traced(Variant::Rma, 200, 7);
+        let violations = check_events(&run.contract, &run.events);
+        assert_eq!(error_count(&violations), 0, "{violations:?}");
+    }
+}

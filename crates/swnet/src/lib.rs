@@ -30,8 +30,8 @@ pub mod pme_comm;
 pub mod transport;
 
 pub use collectives::{allreduce_ns, alltoall_ns, gather_ns, halo_exchange_ns};
-pub use pme_comm::pme_fft_comm_ns;
 pub use params::{NetParams, RankDistance};
+pub use pme_comm::pme_fft_comm_ns;
 pub use transport::{message_ns, Transport};
 
 /// Rank topology: maps MPI ranks (one per CG) onto chips and supernodes.

@@ -76,9 +76,7 @@ mod tests {
         let p = NetParams::taihulight();
         assert!(p.latency_ns(RankDistance::SameRank) < p.latency_ns(RankDistance::SameChip));
         assert!(p.latency_ns(RankDistance::SameChip) < p.latency_ns(RankDistance::SameSupernode));
-        assert!(
-            p.latency_ns(RankDistance::SameSupernode) < p.latency_ns(RankDistance::CrossTree)
-        );
+        assert!(p.latency_ns(RankDistance::SameSupernode) < p.latency_ns(RankDistance::CrossTree));
     }
 
     #[test]

@@ -19,7 +19,12 @@ pub enum Transport {
 
 /// End-to-end time in ns for one message of `bytes` over `transport`
 /// between ranks at distance `dist`.
-pub fn message_ns(params: &NetParams, transport: Transport, dist: RankDistance, bytes: usize) -> f64 {
+pub fn message_ns(
+    params: &NetParams,
+    transport: Transport,
+    dist: RankDistance,
+    bytes: usize,
+) -> f64 {
     if dist == RankDistance::SameRank {
         return 0.0;
     }
@@ -83,7 +88,10 @@ mod tests {
     #[test]
     fn same_rank_is_free() {
         let p = NetParams::taihulight();
-        assert_eq!(message_ns(&p, Transport::Mpi, RankDistance::SameRank, 1024), 0.0);
+        assert_eq!(
+            message_ns(&p, Transport::Mpi, RankDistance::SameRank, 1024),
+            0.0
+        );
     }
 
     #[test]

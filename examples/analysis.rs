@@ -21,10 +21,13 @@ fn main() {
     println!("equilibrating {n_mol} water molecules...");
     let sys = water_box_equilibrated(n_mol, 300.0, 99);
     let n = sys.n();
-    let mut engine = Engine::new(sys, EngineConfig {
-        nstxout: 0,
-        ..EngineConfig::paper(Version::Other)
-    });
+    let mut engine = Engine::new(
+        sys,
+        EngineConfig {
+            nstxout: 0,
+            ..EngineConfig::paper(Version::Other)
+        },
+    );
 
     // Simulate, writing sampled frames through the fast writer.
     let mut writer = BufferedWriter::with_capacity(Vec::new(), 8 << 20);

@@ -10,11 +10,14 @@ use sw_gromacs::mdsim::water::water_box_equilibrated;
 use sw_gromacs::swgmx::engine::{Engine, EngineConfig, Version};
 
 fn engine_over(sys: sw_gromacs::mdsim::System) -> Engine {
-    Engine::new(sys, EngineConfig {
-        nstxout: 0,
-        t_ref: None, // NVE so the comparison is purely deterministic
-        ..EngineConfig::paper(Version::Other)
-    })
+    Engine::new(
+        sys,
+        EngineConfig {
+            nstxout: 0,
+            t_ref: None, // NVE so the comparison is purely deterministic
+            ..EngineConfig::paper(Version::Other)
+        },
+    )
 }
 
 fn main() {

@@ -6,8 +6,8 @@
 //! cargo run --release --example kernel_ladder [n_particles]
 //! ```
 
-use sw_gromacs::mdsim::pairlist::{ListKind, PairList};
 use sw_gromacs::mdsim::nonbonded::NbParams;
+use sw_gromacs::mdsim::pairlist::{ListKind, PairList};
 use sw_gromacs::mdsim::water::water_box_particles;
 use sw_gromacs::sw26010::CoreGroup;
 use sw_gromacs::swgmx::{run_ori, run_rma, CpePairList, PackageLayout, PackedSystem, RmaConfig};
@@ -30,9 +30,7 @@ fn main() {
     let t_ori = ori.total.cycles as f64;
     println!(
         "  {:<26} {:>12} cycles   speedup {:>6.1}",
-        "Ori (MPE only)",
-        ori.total.cycles,
-        1.0
+        "Ori (MPE only)", ori.total.cycles, 1.0
     );
 
     // The four published rungs plus every other cache/simd combination.

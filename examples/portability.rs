@@ -23,9 +23,14 @@ fn main() {
     let list = PairList::build(&sys, params.r_cut, ListKind::Half);
     let psys = PackedSystem::build(&sys, list.clustering.clone(), PackageLayout::Interleaved);
     let cpe = CpePairList::build(&sys, &list);
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
 
-    println!("{n} particles, {threads} host threads, {} cluster pairs", cpe.n_entries());
+    println!(
+        "{n} particles, {threads} host threads, {} cluster pairs",
+        cpe.n_entries()
+    );
     println!("{:<16} {:>12} {:>14}", "strategy", "time (ms)", "pairs");
     let mut reference: Option<Vec<sw_gromacs::mdsim::Vec3>> = None;
     for strategy in WriteStrategy::ALL {

@@ -14,7 +14,11 @@ use sw_gromacs::swgmx::{run_rma, CpePairList, PackageLayout, PackedSystem, RmaCo
 fn main() {
     // 1. A 9 K-particle SPC water box (deterministic from the seed).
     let sys = water_box(3_000, 300.0, 42);
-    println!("water box: {} particles, {:.2} nm edge", sys.n(), sys.pbc.lengths().x);
+    println!(
+        "water box: {} particles, {:.2} nm edge",
+        sys.n(),
+        sys.pbc.lengths().x
+    );
 
     // 2. Cluster pair list (GROMACS-style 4-particle clusters).
     let params = NbParams::paper_default();
@@ -52,7 +56,11 @@ fn main() {
     let mut reference = sys.clone();
     reference.clear_forces();
     let en_ref = compute_forces_half(&mut reference, &list, &params);
-    let fmax = reference.force.iter().map(|f| f.norm()).fold(0.0f32, f32::max);
+    let fmax = reference
+        .force
+        .iter()
+        .map(|f| f.norm())
+        .fold(0.0f32, f32::max);
     let diff = result
         .forces
         .iter()
@@ -65,7 +73,11 @@ fn main() {
         result.energies.total(),
         en_ref.total()
     );
-    println!("  max force deviation: {:.2e} of max force {:.1}", diff / fmax, fmax);
+    println!(
+        "  max force deviation: {:.2e} of max force {:.1}",
+        diff / fmax,
+        fmax
+    );
     assert!(diff / fmax < 1e-3, "kernel does not match the reference");
     println!("  OK — the optimized kernel reproduces the reference forces");
 }

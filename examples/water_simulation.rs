@@ -21,10 +21,13 @@ fn main() {
     let sys = water_box_equilibrated(n_mol, 300.0, 2026);
     let dof = sys.dof_rigid_water();
 
-    let mut engine = Engine::new(sys, EngineConfig {
-        nstxout: 0, // we write frames ourselves below
-        ..EngineConfig::paper(Version::Other)
-    });
+    let mut engine = Engine::new(
+        sys,
+        EngineConfig {
+            nstxout: 0, // we write frames ourselves below
+            ..EngineConfig::paper(Version::Other)
+        },
+    );
     println!(
         "running {steps} steps of {} ps on the simulated SW26010 (cutoff {:.2} nm)",
         engine.config().dt,

@@ -1,0 +1,87 @@
+//! Offline stand-in for the slice of `bytes` this workspace uses: a
+//! growable byte buffer (`BytesMut`) with the `BufMut` append methods.
+//! Backed by a plain `Vec<u8>`; no refcounted splitting, which the
+//! workspace never needs.
+
+/// Append interface, mirroring `bytes::BufMut`.
+pub trait BufMut {
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, b: u8);
+}
+
+/// Growable byte buffer, mirroring `bytes::BytesMut`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True if no bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Drop all buffered bytes, keeping capacity.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    fn put_u8(&mut self, b: u8) {
+        self.inner.push(b);
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_clear() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_slice(b"abc");
+        b.put_u8(b'!');
+        assert_eq!(&b[..], b"abc!");
+        assert_eq!(b.len(), 4);
+        b.clear();
+        assert!(b.is_empty());
+    }
+}

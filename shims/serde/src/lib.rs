@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container building this workspace has no crates.io access, so the
+//! real serde cannot be fetched. The codebase only *derives*
+//! `Serialize`/`Deserialize` on plain data types (no format crate ever
+//! walks them), so marker traits plus no-op derive macros reproduce the
+//! full observable behaviour. If a future PR adds real serialization,
+//! replace this shim by restoring the registry dependency.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,16 @@
+//! No-op derive macros standing in for `serde_derive` in this offline
+//! build. The repo derives `Serialize`/`Deserialize` on plain data types
+//! but never serializes through a format crate, so accepting the syntax
+//! and emitting no code preserves behaviour without a registry fetch.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

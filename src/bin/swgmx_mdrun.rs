@@ -40,7 +40,10 @@ fn parse_args() -> Args {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = || it.next().unwrap_or_else(|| die(&format!("{flag} needs a value")));
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
         match flag.as_str() {
             "--particles" => args.particles = value().parse().unwrap_or_else(|_| die("bad N")),
             "--steps" => args.steps = value().parse().unwrap_or_else(|_| die("bad N")),
@@ -89,14 +92,17 @@ fn main() {
             args.steps,
             args.version.name()
         );
-        let out = MultiCgModel::new(args.particles, args.ranks, args.version)
-            .run(args.steps, args.seed);
+        let out =
+            MultiCgModel::new(args.particles, args.ranks, args.version).run(args.steps, args.seed);
         print_breakdown(&out.breakdown, out.total_ms, args.steps);
         return;
     }
 
     let n_mol = (args.particles / 3).max(1);
-    println!("equilibrating {n_mol} water molecules (seed {})...", args.seed);
+    println!(
+        "equilibrating {n_mol} water molecules (seed {})...",
+        args.seed
+    );
     let sys = water_box_equilibrated(n_mol, args.temp, args.seed);
     let dof = sys.dof_rigid_water();
     let (mut config, steps_override) = match &args.mdp {

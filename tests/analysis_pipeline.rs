@@ -14,10 +14,13 @@ use sw_gromacs::swgmx::fastio::{read_frames, write_frame, BufferedWriter};
 fn simulated_water_has_liquid_structure() {
     let sys = water_box_equilibrated(300, 300.0, 55);
     let n = sys.n();
-    let mut engine = Engine::new(sys, EngineConfig {
-        nstxout: 0,
-        ..EngineConfig::paper(Version::Other)
-    });
+    let mut engine = Engine::new(
+        sys,
+        EngineConfig {
+            nstxout: 0,
+            ..EngineConfig::paper(Version::Other)
+        },
+    );
 
     let mut writer = BufferedWriter::with_capacity(Vec::new(), 4 << 20);
     for step in 0..150 {
@@ -26,11 +29,7 @@ fn simulated_water_has_liquid_structure() {
             write_frame(&mut writer, &engine.sys.pos).unwrap();
         }
     }
-    let frames = read_frames(
-        std::io::Cursor::new(writer.into_inner().unwrap()),
-        n,
-    )
-    .unwrap();
+    let frames = read_frames(std::io::Cursor::new(writer.into_inner().unwrap()), n).unwrap();
     assert_eq!(frames.len(), 10);
 
     let oxygens = select_type(&engine.sys, 0);
@@ -59,10 +58,13 @@ fn checkpoint_restart_through_the_engine() {
     // Run the engine, capture a checkpoint mid-run, restore into a fresh
     // engine, and verify the state carries over.
     let sys0 = water_box_equilibrated(200, 300.0, 56);
-    let mut a = Engine::new(sys0.clone(), EngineConfig {
-        nstxout: 0,
-        ..EngineConfig::paper(Version::Other)
-    });
+    let mut a = Engine::new(
+        sys0.clone(),
+        EngineConfig {
+            nstxout: 0,
+            ..EngineConfig::paper(Version::Other)
+        },
+    );
     for _ in 0..20 {
         a.step();
     }

@@ -12,7 +12,9 @@ use sw_gromacs::sw26010::CoreGroup;
 use sw_gromacs::swgmx::engine::{MultiCgModel, Version};
 use sw_gromacs::swgmx::pairgen::grid_walk_miss_study;
 use sw_gromacs::swgmx::platforms::{self, KNL, P100, SW26010};
-use sw_gromacs::swgmx::{run_ori, run_rca, run_rma, run_ustc, CpePairList, PackageLayout, PackedSystem, RmaConfig};
+use sw_gromacs::swgmx::{
+    run_ori, run_rca, run_rma, run_ustc, CpePairList, PackageLayout, PackedSystem, RmaConfig,
+};
 
 fn workload(n_mol: usize, seed: u64) -> (PackedSystem, CpePairList, CpePairList, NbParams) {
     let sys = water_box(n_mol, 300.0, seed);
@@ -67,8 +69,12 @@ fn fig8_ladder_shape() {
 fn fig9_strategy_order() {
     let (psys, half, full, params) = workload(1200, 2);
     let cg = CoreGroup::new();
-    let mark = run_rma(&psys, &half, &params, &cg, RmaConfig::MARK).total.cycles;
-    let rma = run_rma(&psys, &half, &params, &cg, RmaConfig::VEC).total.cycles;
+    let mark = run_rma(&psys, &half, &params, &cg, RmaConfig::MARK)
+        .total
+        .cycles;
+    let rma = run_rma(&psys, &half, &params, &cg, RmaConfig::VEC)
+        .total
+        .cycles;
     let rca = run_rca(&psys, &full, &params, &cg).total.cycles;
     let ustc = run_ustc(&psys, &half, &params, &cg).total.cycles;
     assert!(mark < rma, "Mark {mark} vs RMA {rma}");
@@ -110,7 +116,10 @@ fn fig11_ttf_model() {
 #[test]
 fn fig12_scaling_shape() {
     let per_step = |n: usize, ranks: usize| {
-        MultiCgModel::new(n, ranks, Version::Other).run(2, 5).total_ms / 2.0
+        MultiCgModel::new(n, ranks, Version::Other)
+            .run(2, 5)
+            .total_ms
+            / 2.0
     };
     // Weak: 12 K particles per CG.
     let w4 = per_step(48_000, 4);
@@ -121,8 +130,14 @@ fn fig12_scaling_shape() {
     let s4 = per_step(48_000, 4);
     let s256 = per_step(48_000, 256);
     let strong_eff = s4 / (64.0 * s256);
-    assert!(strong_eff < 0.95, "strong efficiency did not decay: {strong_eff:.2}");
-    assert!(strong_eff > 0.1, "strong efficiency collapsed: {strong_eff:.2}");
+    assert!(
+        strong_eff < 0.95,
+        "strong efficiency did not decay: {strong_eff:.2}"
+    );
+    assert!(
+        strong_eff > 0.1,
+        "strong efficiency collapsed: {strong_eff:.2}"
+    );
 }
 
 /// §3.5: the grid-walk study shows direct-mapped thrashing fixed by

@@ -1,0 +1,60 @@
+//! Tier-1 integration: the `swcheck` invariant checker against the
+//! kernels as shipped. The paper's correctness story rests on the
+//! redundant-copy scheme making cross-CPE writes disjoint and on the
+//! Bit-Map/reduction contract (Alg. 3/4); this suite keeps those
+//! properties machine-checked on every test run.
+
+use swcheck::{check_events, error_count, fixtures};
+use swgmx::check::{run_traced, Variant};
+
+#[test]
+fn optimized_kernel_passes_the_checker() {
+    let run = run_traced(Variant::Rma, 300, 11);
+    let violations = check_events(&run.contract, &run.events);
+    assert_eq!(
+        error_count(&violations),
+        0,
+        "rma (Mark) must check clean: {violations:?}"
+    );
+}
+
+#[test]
+fn baselines_pass_under_their_own_contracts() {
+    for variant in [Variant::GldNaive, Variant::Ustc] {
+        let run = run_traced(variant, 200, 11);
+        let violations = check_events(&run.contract, &run.events);
+        assert_eq!(
+            error_count(&violations),
+            0,
+            "{}: {violations:?}",
+            variant.name()
+        );
+    }
+}
+
+#[test]
+fn seeded_violations_are_all_caught() {
+    for f in fixtures::all() {
+        let violations = check_events(&f.contract, &f.events);
+        assert!(
+            violations.iter().any(|v| v.id == f.expected),
+            "fixture `{}` escaped detection (expected {})",
+            f.name,
+            f.expected
+        );
+    }
+}
+
+#[test]
+fn gld_contract_distinguishes_baseline_from_optimized() {
+    // The same gld-heavy event stream that is legal for the gldnaive
+    // baseline must be an SWC005 error under the rma contract.
+    let run = run_traced(Variant::GldNaive, 200, 13);
+    assert_eq!(error_count(&check_events(&run.contract, &run.events)), 0);
+    let strict = Variant::Rma.contract();
+    let violations = check_events(&strict, &run.events);
+    assert!(
+        violations.iter().any(|v| v.id == "SWC005"),
+        "gld traffic must violate the optimized contract: {violations:?}"
+    );
+}

@@ -27,7 +27,11 @@ fn setup() -> Setup {
     };
     let half_list = PairList::build(&sys, 0.7, ListKind::Half);
     let full_list = PairList::build(&sys, 0.7, ListKind::Full);
-    let psys = PackedSystem::build(&sys, half_list.clustering.clone(), PackageLayout::Transposed);
+    let psys = PackedSystem::build(
+        &sys,
+        half_list.clustering.clone(),
+        PackageLayout::Transposed,
+    );
     let half = CpePairList::build(&sys, &half_list);
     let full = CpePairList::build(&sys, &full_list);
     Setup {
@@ -49,7 +53,12 @@ fn reference(s: &Setup) -> (Vec<sw_gromacs::mdsim::Vec3>, f64) {
 
 fn check(name: &str, out: &KernelResult, f_ref: &[sw_gromacs::mdsim::Vec3], e_ref: f64) {
     let rel = (out.energies.total() - e_ref).abs() / e_ref.abs();
-    assert!(rel < 1e-4, "{name}: energy {} vs {}", out.energies.total(), e_ref);
+    assert!(
+        rel < 1e-4,
+        "{name}: energy {} vs {}",
+        out.energies.total(),
+        e_ref
+    );
     let fmax = f_ref.iter().map(|f| f.norm()).fold(0.0f32, f32::max);
     let diff = max_force_diff(&out.forces, f_ref);
     assert!(diff / fmax < 1e-3, "{name}: force diff {diff} of {fmax}");
@@ -61,8 +70,18 @@ fn every_variant_matches_the_reference() {
     let s = setup();
     let (f_ref, e_ref) = reference(&s);
     let cg = CoreGroup::new();
-    check("Ori", &run_ori(&s.psys, &s.half, &s.params, &cg), &f_ref, e_ref);
-    for cfg in [RmaConfig::PKG, RmaConfig::CACHE, RmaConfig::VEC, RmaConfig::MARK] {
+    check(
+        "Ori",
+        &run_ori(&s.psys, &s.half, &s.params, &cg),
+        &f_ref,
+        e_ref,
+    );
+    for cfg in [
+        RmaConfig::PKG,
+        RmaConfig::CACHE,
+        RmaConfig::VEC,
+        RmaConfig::MARK,
+    ] {
         check(
             cfg.name(),
             &run_rma(&s.psys, &s.half, &s.params, &cg, cfg),
@@ -70,8 +89,18 @@ fn every_variant_matches_the_reference() {
             e_ref,
         );
     }
-    check("RCA", &run_rca(&s.psys, &s.full, &s.params, &cg), &f_ref, e_ref);
-    check("USTC", &run_ustc(&s.psys, &s.half, &s.params, &cg), &f_ref, e_ref);
+    check(
+        "RCA",
+        &run_rca(&s.psys, &s.full, &s.params, &cg),
+        &f_ref,
+        e_ref,
+    );
+    check(
+        "USTC",
+        &run_ustc(&s.psys, &s.half, &s.params, &cg),
+        &f_ref,
+        e_ref,
+    );
 }
 
 #[test]
@@ -82,7 +111,10 @@ fn variants_agree_with_each_other_bitwise_modulo_order() {
     let cg = CoreGroup::new();
     let a = run_rma(&s.psys, &s.half, &s.params, &cg, RmaConfig::VEC);
     let b = run_rma(&s.psys, &s.half, &s.params, &cg, RmaConfig::MARK);
-    assert_eq!(a.energies.pairs_within_cutoff, b.energies.pairs_within_cutoff);
+    assert_eq!(
+        a.energies.pairs_within_cutoff,
+        b.energies.pairs_within_cutoff
+    );
     let diff = max_force_diff(&a.forces, &b.forces);
     assert!(diff < 1e-6, "Vec vs Mark force diff {diff}");
 }
@@ -95,7 +127,11 @@ fn cpe_generated_list_feeds_kernels_identically() {
     let cg = CoreGroup::new();
     let gen = sw_gromacs::swgmx::pairgen::generate_pairlist(&s.sys, 0.7, ListKind::Half, &cg, 2);
     let cpe = CpePairList::build(&s.sys, &gen.list);
-    let psys = PackedSystem::build(&s.sys, gen.list.clustering.clone(), PackageLayout::Transposed);
+    let psys = PackedSystem::build(
+        &s.sys,
+        gen.list.clustering.clone(),
+        PackageLayout::Transposed,
+    );
     let from_gen = run_rma(&psys, &cpe, &s.params, &cg, RmaConfig::MARK);
     let from_host = run_rma(&s.psys, &s.half, &s.params, &cg, RmaConfig::MARK);
     assert_eq!(

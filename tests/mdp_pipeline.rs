@@ -31,10 +31,8 @@ fn paper_mdp_drives_the_engine() {
 
 #[test]
 fn mdp_overrides_change_behaviour() {
-    let opts = parse_mdp(
-        "nsteps = 3\nnstlist = 2\nconstraints = none\ndt = 0.0002\ntcoupl = no\n",
-    )
-    .unwrap();
+    let opts = parse_mdp("nsteps = 3\nnstlist = 2\nconstraints = none\ndt = 0.0002\ntcoupl = no\n")
+        .unwrap();
     let sys = water_box_equilibrated(150, 300.0, 89);
     let mut config = opts.config;
     config.version = Version::Other;

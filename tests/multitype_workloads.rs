@@ -94,5 +94,7 @@ fn ions_feel_strong_coulomb_forces() {
         .sum::<f32>()
         / 24.0;
     assert!(ion_mean > 0.0);
-    assert!(r.force[n_water_atoms..].iter().all(|f| f.norm().is_finite()));
+    assert!(r.force[n_water_atoms..]
+        .iter()
+        .all(|f| f.norm().is_finite()));
 }

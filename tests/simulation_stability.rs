@@ -12,10 +12,13 @@ use sw_gromacs::swgmx::fastio::{write_frame, BufferedWriter};
 fn hundred_steps_of_water_stay_physical() {
     let sys = water_box_equilibrated(600, 300.0, 9);
     let dof = sys.dof_rigid_water();
-    let mut engine = Engine::new(sys, EngineConfig {
-        nstxout: 0,
-        ..EngineConfig::paper(Version::Other)
-    });
+    let mut engine = Engine::new(
+        sys,
+        EngineConfig {
+            nstxout: 0,
+            ..EngineConfig::paper(Version::Other)
+        },
+    );
     let mut energies = Vec::new();
     for _ in 0..100 {
         let en = engine.step();
@@ -28,7 +31,11 @@ fn hundred_steps_of_water_stay_physical() {
     let t = engine.sys.temperature(dof);
     assert!((150.0..600.0).contains(&t), "T = {t} K");
     // Momentum conserved (no net drift pumped in).
-    assert!(engine.sys.momentum().norm() < 5.0, "p = {:?}", engine.sys.momentum());
+    assert!(
+        engine.sys.momentum().norm() < 5.0,
+        "p = {:?}",
+        engine.sys.momentum()
+    );
     // Total energy bounded (no blow-up).
     let e0 = energies[10].abs();
     let e_last = energies.last().unwrap().abs();
@@ -47,10 +54,13 @@ fn optimized_and_reference_dynamics_stay_close() {
     let sys0 = water_box_equilibrated(600, 300.0, 31);
     let dof = sys0.dof_rigid_water();
 
-    let mut opt = Engine::new(sys0.clone(), EngineConfig {
-        nstxout: 0,
-        ..EngineConfig::paper(Version::Other)
-    });
+    let mut opt = Engine::new(
+        sys0.clone(),
+        EngineConfig {
+            nstxout: 0,
+            ..EngineConfig::paper(Version::Other)
+        },
+    );
     let cfg = *opt.config();
     let mut e_opt = 0.0;
     for _ in 0..60 {
