@@ -15,7 +15,10 @@ fn replay(geo: CacheGeometry, accesses: &[u32], backing: &[f32]) -> (f64, u64) {
     for &a in accesses {
         cache.get(&mut perf, backing, a as usize);
     }
-    (cache.stats().miss_ratio(), perf.dma_bw_cycles)
+    (
+        cache.stats().miss_ratio().unwrap_or(0.0),
+        perf.dma_bw_cycles,
+    )
 }
 
 fn access_stream() -> (Vec<u32>, Vec<f32>) {

@@ -5,7 +5,7 @@
 //! row-major, Morton (production default), and Hilbert orderings on the
 //! Mark kernel.
 
-use bench::header;
+use bench::{header, BenchJson};
 use mdsim::cluster::{CellOrder, Clustering};
 use mdsim::nonbonded::NbParams;
 use mdsim::pairlist::{ListKind, PairList};
@@ -56,6 +56,9 @@ fn main() {
         "{:<10} {:>12} {:>12} {:>14} {:>10}",
         "ordering", "read miss", "write miss", "kcycles", "vs morton"
     );
+    let mut json = BenchJson::new("ablation_ordering");
+    json.config_num("particles", n as f64);
+    let mut total_cycles = 0u64;
     for (name, rm, wm, cycles) in rows {
         println!(
             "{:<10} {:>11.1}% {:>11.1}% {:>14} {:>10.2}",
@@ -65,7 +68,12 @@ fn main() {
             cycles / 1000,
             cycles as f64 / morton_cycles as f64
         );
+        total_cycles += cycles;
+        json.metric(&format!("read_miss.{name}"), rm)
+            .metric(&format!("write_miss.{name}"), wm)
+            .metric(&format!("cycles.{name}"), cycles as f64);
     }
+    json.wall_cycles(total_cycles).write();
     println!(
         "\ninterpretation: the §4.2 'miss ratio under 15%' claim depends on a \
          locality-preserving cluster order; row-major ids thrash the \

@@ -7,7 +7,7 @@
 //! three bar groups; KNL/P100 absolute bars are the paper's published
 //! measurements (we have neither device — see DESIGN.md).
 
-use bench::{bar, header, water_workload};
+use bench::{bar, header, water_workload, BenchJson};
 use sw26010::cg::CoreGroup;
 use swgmx::engine::{MultiCgModel, Version};
 use swgmx::kernels::{run_rma, RmaConfig};
@@ -88,4 +88,27 @@ fn main() {
         "\npaper claim: 150x SW >> 1 KNL; 24x SW ~ 1x P100 (22.92 vs 22.77); \
          48x SW > 2x P100 (21.47 vs 17.20, better scaling)"
     );
+
+    let mut json = BenchJson::new("fig11_platforms");
+    json.config_num("particles", n as f64)
+        .config_num("fig11_ranks", ranks as f64)
+        .config_str("mode", if quick { "quick" } else { "full" });
+    json.metric("ttf.sw_vs_knl", platforms::ttf_ratio(&SW26010, &KNL))
+        .metric("ttf.sw_vs_p100", platforms::ttf_ratio(&SW26010, &P100))
+        .metric("cache.miss_ratio", measured_miss)
+        .metric(
+            "ttf.sw_vs_knl.measured",
+            platforms::ttf_ratio_measured(measured_miss, &KNL),
+        )
+        .metric(
+            "ttf.sw_vs_p100.measured",
+            platforms::ttf_ratio_measured(measured_miss, &P100),
+        )
+        .metric("cpe_over_mpe", cpe_over_mpe);
+    json.wall_cycles(
+        mark.total.cycles
+            + sw26010::params::ns_to_cycles(cpe * 1e6)
+            + sw26010::params::ns_to_cycles(mpe * 1e6),
+    )
+    .write();
 }

@@ -5,7 +5,7 @@
 //! Weak scaling: ~10 K particles per CG; paper efficiencies 1.00, 1.00,
 //! 0.99, 0.90, 0.90, 0.89, 0.89, 0.87.
 
-use bench::header;
+use bench::{header, BenchJson};
 use swgmx::engine::{MultiCgModel, Version};
 
 fn time_per_step(n_particles: usize, ranks: usize, steps: usize, seed: u64) -> f64 {
@@ -32,6 +32,10 @@ fn main() {
         "{:>6} {:>12} {:>12} {:>10}",
         "CGs", "paper eff", "model eff", "speedup"
     );
+    let mut json = BenchJson::new("fig12_scaling");
+    json.config_num("steps", steps as f64)
+        .config_str("mode", if quick { "quick" } else { "full" });
+    let mut total_ms = 0.0;
     let t4 = time_per_step(48_000, 4, steps, 31);
     for (i, &ranks) in ranks_list.iter().enumerate() {
         let tn = if ranks == 4 {
@@ -39,12 +43,14 @@ fn main() {
         } else {
             time_per_step(48_000, ranks, steps, 31)
         };
+        total_ms += tn * steps as f64;
         let eff = t4 / ((ranks as f64 / 4.0) * tn);
         let speedup = t4 / tn;
         println!(
             "{:>6} {:>12.2} {:>12.2} {:>10.1}",
             ranks, paper_strong[i], eff, speedup
         );
+        json.metric(&format!("strong.eff.{ranks}"), eff);
     }
 
     // Weak: ~10 K particles per CG.
@@ -58,9 +64,13 @@ fn main() {
         } else {
             time_per_step(per_cg * ranks, ranks, steps, 32)
         };
+        total_ms += tn * steps as f64;
         let eff = t4w / tn;
         println!("{:>6} {:>12.2} {:>12.2}", ranks, paper_weak[i], eff);
+        json.metric(&format!("weak.eff.{ranks}"), eff);
     }
+    json.wall_cycles(sw26010::params::ns_to_cycles(total_ms * 1e6))
+        .write();
     println!(
         "\npaper claim: weak scaling nearly flat (>=0.87 at 512 CGs); strong \
          scaling degrades to ~0.47 at 512 CGs as per-CG work shrinks below \

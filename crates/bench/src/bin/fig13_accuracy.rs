@@ -8,7 +8,7 @@
 //! mdsim scalar reference kernel) from identical initial conditions and
 //! report the traces plus their drift statistics.
 
-use bench::header;
+use bench::{header, BenchJson};
 use mdsim::constraints::ConstraintSet;
 use mdsim::integrate::{berendsen_scale, leapfrog_step_constrained};
 use mdsim::nonbonded::compute_forces_half;
@@ -127,4 +127,16 @@ fn main() {
          deviation from the reference platform stays within a bounded band \
          over a long run (their Fig. 13, 500 K steps)"
     );
+
+    let mut json = BenchJson::new("fig13_accuracy");
+    json.config_num("molecules", n_mol as f64)
+        .config_num("steps", n_steps as f64)
+        .config_str("mode", if quick { "quick" } else { "full" });
+    json.metric("energy.opt", e_opt)
+        .metric("energy.ref", e_ref)
+        .metric("energy.rel_dev", (e_opt - e_ref) / e_ref.abs())
+        .metric("temperature.opt", t_opt)
+        .metric("temperature.ref", t_ref_m)
+        .metric("temperature.dev_k", t_opt - t_ref_m);
+    json.wall_cycles(opt.breakdown.total_cycles()).write();
 }

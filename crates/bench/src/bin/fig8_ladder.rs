@@ -5,7 +5,7 @@
 //! Paper values: Pkg ~3x, Cache ~23x, Vec ~40-41x, Mark ~60-63x, roughly
 //! independent of particle count.
 
-use bench::{header, water_workload};
+use bench::{header, water_workload, BenchJson};
 use sw26010::cg::CoreGroup;
 use swgmx::kernels::{run_gld_naive, run_ori, run_rma, RmaConfig};
 
@@ -28,6 +28,9 @@ fn main() {
         "{:>10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "particles", "Ori", "gld*", "Pkg", "Cache", "Vec", "Mark"
     );
+    let mut json = BenchJson::new("fig8_ladder");
+    json.config_str("sizes", &format!("{sizes:?}"));
+    let mut total_cycles = 0u64;
     for (si, &n) in sizes.iter().enumerate() {
         let w = water_workload(n, 42 + si as u64);
         let cg = CoreGroup::new();
@@ -41,6 +44,11 @@ fn main() {
             t_ori / naive.total.cycles as f64
         );
         let mut measured = Vec::new();
+        total_cycles += ori.total.cycles + naive.total.cycles;
+        json.metric(
+            &format!("speedup.gld.{n}"),
+            t_ori / naive.total.cycles as f64,
+        );
         for cfg in [
             RmaConfig::PKG,
             RmaConfig::CACHE,
@@ -49,6 +57,11 @@ fn main() {
         ] {
             let r = run_rma(&w.psys, &w.half, &w.params, &cg, cfg);
             let speedup = t_ori / r.total.cycles as f64;
+            total_cycles += r.total.cycles;
+            json.metric(
+                &format!("speedup.{}.{n}", cfg.name().to_lowercase()),
+                speedup,
+            );
             measured.push((cfg.name(), speedup, r));
             line += &format!(" {:>8.1}", speedup);
         }
@@ -90,4 +103,5 @@ fn main() {
     }
     println!("\npaper claim: ladder ~1 / 3 / 23 / 40 / 61, stable across sizes");
     println!("(*gld: our extra ablation rung — CPEs with per-element gld/gst, not in the paper)");
+    json.wall_cycles(total_cycles).write();
 }

@@ -5,7 +5,7 @@
 //! original): USTC_GMX 16x, SW_LAMMPS (RCA) 16.4x, RMA_GMX 40x,
 //! MARK_GMX 63x.
 
-use bench::{bar, header, water_workload};
+use bench::{bar, header, water_workload, BenchJson};
 use sw26010::cg::CoreGroup;
 use swgmx::kernels::{run_ori, run_rca, run_rma, run_ustc, RmaConfig};
 
@@ -54,4 +54,28 @@ fn main() {
         100.0 * mark.phases.cycles("reduce") as f64 / mark.phases.cycles("calc") as f64
     );
     println!("\npaper claim: MARK > RMA >> RCA ~ USTC, MARK ~ 4x USTC");
+
+    let mut json = BenchJson::new("fig9_strategies");
+    json.config_num("particles", n as f64);
+    for (name, _, measured) in results {
+        json.metric(
+            &format!(
+                "speedup.{}",
+                name.split_whitespace().next().unwrap().to_lowercase()
+            ),
+            measured,
+        );
+    }
+    json.metric(
+        "mark.reduce_over_calc",
+        mark.phases.cycles("reduce") as f64 / mark.phases.cycles("calc") as f64,
+    );
+    json.wall_cycles(
+        ori.total.cycles
+            + ustc.total.cycles
+            + rca.total.cycles
+            + rma.total.cycles
+            + mark.total.cycles,
+    )
+    .write();
 }

@@ -13,8 +13,20 @@
 //! 18.7% "Comm. energies" of case 2 is dominated by the synchronization
 //! wait of the imbalanced MPE-bound step).
 
-use bench::header;
+use bench::{header, BenchJson};
 use swgmx::engine::{Engine, EngineConfig, MultiCgModel, Version};
+
+/// Record every breakdown row as `caseN.pct.<label>` in the sidecar.
+fn record(json: &mut BenchJson, case: usize, breakdown: &sw26010::Breakdown) {
+    let total = breakdown.total_cycles() as f64;
+    for (label, perf) in breakdown.iter() {
+        let key = format!(
+            "case{case}.pct.{}",
+            label.to_lowercase().replace([' ', '/', '+', '.'], "_")
+        );
+        json.metric(&key, 100.0 * perf.cycles as f64 / total);
+    }
+}
 
 fn print_breakdown(title: &str, rows: &[(&str, f64)], breakdown: &sw26010::Breakdown) {
     println!("\n--- {title} ---");
@@ -46,6 +58,11 @@ fn main() {
         (48_000, 3_000_000)
     };
 
+    let mut json = BenchJson::new("table1_breakdown");
+    json.config_num("case1.particles", n1 as f64)
+        .config_num("case2.particles", n2 as f64)
+        .config_str("mode", if quick { "quick" } else { "full" });
+
     // Case 1: functional single-CG run over one nstlist period.
     let sys = mdsim::water::water_box_equilibrated(n1 / 3, 300.0, 11);
     let mut engine = Engine::new(sys, EngineConfig::paper(Version::Ori));
@@ -62,6 +79,7 @@ fn main() {
         ],
         &engine.breakdown,
     );
+    record(&mut json, 1, &engine.breakdown);
 
     // Case 2: representative-CG model with 512 ranks.
     let model = MultiCgModel::new(n2, 512, Version::Ori);
@@ -81,6 +99,9 @@ fn main() {
         ],
         &out.breakdown,
     );
+    record(&mut json, 2, &out.breakdown);
+    json.wall_cycles(engine.breakdown.total_cycles() + out.breakdown.total_cycles())
+        .write();
     println!(
         "\npaper claim: Force dominates both cases; Comm. energies becomes \
          the second-largest cost at 512 CGs"

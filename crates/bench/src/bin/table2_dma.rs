@@ -8,7 +8,7 @@
 //! than per-element 8 B accesses, and an 8-package cache line (~640 B)
 //! is within 5% of peak.
 
-use bench::header;
+use bench::{header, BenchJson};
 use sw26010::dma::{Dir, DmaEngine};
 use sw26010::params::DMA_BANDWIDTH_TABLE;
 use sw26010::perf::PerfCounters;
@@ -32,8 +32,12 @@ fn main() {
         "{:>12} {:>14} {:>14}",
         "size (B)", "paper (GB/s)", "model (GB/s)"
     );
+    let mut json = BenchJson::new("table2_dma");
+    json.config_num("stream_bytes", (8u64 << 20) as f64);
     for &(size, paper) in &DMA_BANDWIDTH_TABLE {
-        println!("{:>12} {:>14.2} {:>14.2}", size, paper, achieved_gbs(size));
+        let gbs = achieved_gbs(size);
+        println!("{:>12} {:>14.2} {:>14.2}", size, paper, gbs);
+        json.metric(&format!("gbs.{size}"), gbs);
     }
     println!("\nderived sizes used by SW_GROMACS:");
     for (what, size) in [
@@ -54,4 +58,13 @@ fn main() {
         "\npaper claim: packaging raises bandwidth from 0.99 to ~15.77 GB/s \
          (~16x); model: {pkg:.1}x"
     );
+    // wall_cycles: one 8 MiB stream at the package size, the headline
+    // configuration of the table.
+    let mut perf = PerfCounters::new();
+    for _ in 0..(8 << 20) / 80 {
+        DmaEngine::transfer(&mut perf, Dir::Get, 80, true);
+    }
+    json.metric("package_speedup_vs_8b", pkg)
+        .wall_cycles(perf.cycles)
+        .write();
 }

@@ -56,6 +56,105 @@ pub fn water_workload(n_particles: usize, seed: u64) -> Workload {
     }
 }
 
+/// Machine-readable sidecar emitted by every regenerator binary: one
+/// `BENCH_<name>.json` per run with the schema
+/// `{name, config, metrics, wall_cycles}`, so CI and plotting scripts
+/// can consume the measured numbers without scraping stdout.
+///
+/// The output directory is `$BENCH_OUT_DIR` when set, `results/`
+/// otherwise (created on demand).
+#[derive(Debug, Clone)]
+pub struct BenchJson {
+    name: String,
+    config: Vec<(String, String)>,
+    metrics: Vec<(String, f64)>,
+    wall_cycles: u64,
+}
+
+impl BenchJson {
+    /// Start a sidecar for the regenerator `name` (e.g. `"fig8_ladder"`).
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            config: Vec::new(),
+            metrics: Vec::new(),
+            wall_cycles: 0,
+        }
+    }
+
+    /// Record a numeric configuration knob (particle count, steps, ...).
+    pub fn config_num(&mut self, key: &str, v: f64) -> &mut Self {
+        self.config.push((key.to_string(), swprof::json::number(v)));
+        self
+    }
+
+    /// Record a string configuration knob (version name, transport, ...).
+    pub fn config_str(&mut self, key: &str, v: &str) -> &mut Self {
+        self.config
+            .push((key.to_string(), swprof::json::escaped(v)));
+        self
+    }
+
+    /// Record one measured value. Keys are dotted paths; repeated series
+    /// entries encode the index in the key (`"speedup.mark.12000"`).
+    pub fn metric(&mut self, key: &str, v: f64) -> &mut Self {
+        self.metrics.push((key.to_string(), v));
+        self
+    }
+
+    /// Record the total simulated cycles the run accounted for.
+    pub fn wall_cycles(&mut self, cycles: u64) -> &mut Self {
+        self.wall_cycles = cycles;
+        self
+    }
+
+    /// Serialize to the sidecar schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\n  \"name\": ");
+        out.push_str(&swprof::json::escaped(&self.name));
+        out.push_str(",\n  \"config\": {");
+        for (i, (k, v)) in self.config.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&swprof::json::escaped(k));
+            out.push_str(": ");
+            out.push_str(v);
+        }
+        out.push_str("\n  },\n  \"metrics\": {");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&swprof::json::escaped(k));
+            out.push_str(": ");
+            out.push_str(&swprof::json::number(*v));
+        }
+        out.push_str("\n  },\n  \"wall_cycles\": ");
+        out.push_str(&self.wall_cycles.to_string());
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Write `BENCH_<name>.json` into `$BENCH_OUT_DIR` (or `results/`)
+    /// and report where it went. Regenerators print tables for humans;
+    /// failing the run over a sidecar write would be backwards, so IO
+    /// errors only warn.
+    pub fn write(&self) {
+        let dir = std::env::var("BENCH_OUT_DIR").unwrap_or_else(|_| "results".to_string());
+        let dir = std::path::Path::new(&dir);
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let res = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, self.to_json()));
+        match res {
+            Ok(()) => println!("[bench-json] wrote {}", path.display()),
+            Err(e) => eprintln!("[bench-json] {}: {e}", path.display()),
+        }
+    }
+}
+
 /// Print a standard report header.
 pub fn header(title: &str, what: &str) {
     println!("==============================================================");
@@ -83,6 +182,27 @@ pub fn bar(label: &str, value: f64, scale: f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_json_is_valid_and_round_trips() {
+        let mut b = BenchJson::new("fig0_test");
+        b.config_num("particles", 12_000.0)
+            .config_str("version", "Mark \"quoted\"")
+            .metric("speedup.mark", 61.5)
+            .metric("speedup.cache", 23.0)
+            .wall_cycles(123_456);
+        let v = swprof::json::parse(&b.to_json()).expect("valid JSON");
+        assert_eq!(v.get("name").unwrap().as_str().unwrap(), "fig0_test");
+        assert_eq!(v.get("wall_cycles").unwrap().as_num().unwrap(), 123_456.0);
+        let cfg = v.get("config").unwrap();
+        assert_eq!(cfg.get("particles").unwrap().as_num().unwrap(), 12_000.0);
+        assert_eq!(
+            cfg.get("version").unwrap().as_str().unwrap(),
+            "Mark \"quoted\""
+        );
+        let m = v.get("metrics").unwrap();
+        assert_eq!(m.get("speedup.mark").unwrap().as_num().unwrap(), 61.5);
+    }
 
     #[test]
     fn workload_is_consistent() {

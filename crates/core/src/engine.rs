@@ -113,6 +113,16 @@ impl EngineConfig {
     }
 }
 
+/// Book a stage into both the cost breakdown and the profiler: the
+/// swprof span carries exactly the cycles charged to the `Breakdown`
+/// row, so the Chrome-trace per-stage totals agree with Table 1 by
+/// construction. One relaxed atomic load when no profiling session is
+/// active.
+fn charge(breakdown: &mut Breakdown, label: &'static str, perf: PerfCounters) {
+    swprof::stage(label, perf.cycles);
+    breakdown.add(label, perf);
+}
+
 /// MPE cycles per pair-list candidate when the list is generated
 /// serially on the MPE (versions Ori/Cal).
 const MPE_LIST_CYCLES_PER_CANDIDATE: u64 = 55;
@@ -215,6 +225,10 @@ impl Engine {
     fn rebuild_list(&mut self) {
         let v = self.config.version;
         if matches!(v, Version::List | Version::Other) {
+            // Span opens before the CPE spawn so the per-CPE pairgen
+            // spans nest under it on the timeline; ticking the region
+            // cycles keeps the MPE span equal to the Breakdown row.
+            let span = swprof::span("Neighbor search");
             let gen = pairgen::generate_pairlist(
                 &self.sys,
                 self.config.rlist,
@@ -222,6 +236,8 @@ impl Engine {
                 &self.cg,
                 2,
             );
+            swprof::tick(gen.perf.cycles);
+            drop(span);
             self.breakdown.add("Neighbor search", gen.perf);
             self.list = Some(gen.list);
         } else {
@@ -233,13 +249,14 @@ impl Engine {
                 cycles: candidates * MPE_LIST_CYCLES_PER_CANDIDATE,
                 ..Default::default()
             };
-            self.breakdown.add("Neighbor search", perf);
+            charge(&mut self.breakdown, "Neighbor search", perf);
             self.list = Some(list);
         }
     }
 
     /// Advance one step. Returns the short-range kernel result.
     pub fn step(&mut self) -> NbEnergies {
+        let _step = swprof::span("step");
         if self.step_idx.is_multiple_of(self.config.nstlist) || self.list.is_none() {
             self.rebuild_list();
         }
@@ -258,9 +275,12 @@ impl Engine {
             cycles: (self.sys.n() as u64 * 20) / self.cg.n_cpes as u64 + 2_000,
             ..Default::default()
         };
-        self.breakdown.add("NB X/F buffer ops", pack_perf);
+        charge(&mut self.breakdown, "NB X/F buffer ops", pack_perf);
 
-        // --- short-range force.
+        // --- short-range force. The span opens before the CPE spawn so
+        // the per-CPE kernel spans nest under it; the mesh part below is
+        // ticked into the same span, mirroring the Breakdown rollup.
+        let force_span = swprof::span("Force");
         let result: KernelResult = match self.config.version {
             Version::Ori => run_ori(&psys, &cpelist, &self.config.params, &self.cg),
             _ => run_rma(
@@ -271,6 +291,7 @@ impl Engine {
                 RmaConfig::MARK,
             ),
         };
+        swprof::tick(result.total.cycles);
         self.breakdown.add("Force", result.total);
         self.energies = result.energies;
         for (i, f) in result.forces.iter().enumerate() {
@@ -286,14 +307,14 @@ impl Engine {
             let n = self.sys.n() as u64;
             let fft_flops = 10 * k * k * k * (3 * k.ilog2() as u64);
             let spread_gather = 2 * n * 64 * 6;
-            self.breakdown.add(
-                "Force",
-                PerfCounters {
-                    cycles: (fft_flops + spread_gather) / self.cg.n_cpes as u64,
-                    ..Default::default()
-                },
-            );
+            let pme_perf = PerfCounters {
+                cycles: (fft_flops + spread_gather) / self.cg.n_cpes as u64,
+                ..Default::default()
+            };
+            swprof::tick(pme_perf.cycles);
+            self.breakdown.add("Force", pme_perf);
         }
+        drop(force_span);
 
         // --- bonded terms (flexible runs only; rigid water replaces them
         // with constraints). These are the Fig. 1 "Bound" interactions;
@@ -312,7 +333,8 @@ impl Engine {
                     })
                     .sum();
                 mdsim::bonded::compute_bonded(&mut self.sys);
-                self.breakdown.add(
+                charge(
+                    &mut self.breakdown,
                     "Bonded",
                     PerfCounters {
                         cycles: n_terms * 60, // ~60 MPE cycles per term
@@ -320,7 +342,10 @@ impl Engine {
                     },
                 );
             } else {
+                let span = swprof::span("Bonded");
                 let out = crate::kernels::run_bonded_cpe(&self.sys, &self.cg);
+                swprof::tick(out.total.cycles);
+                drop(span);
                 for (i, f) in out.forces.iter().enumerate() {
                     self.sys.force[i] += *f;
                 }
@@ -331,7 +356,8 @@ impl Engine {
         // --- update + constraints (MPE in all versions; cheap rows).
         let old_pos = self.sys.pos.clone();
         integrate::leapfrog_step(&mut self.sys, self.config.dt);
-        self.breakdown.add(
+        charge(
+            &mut self.breakdown,
             "Update",
             PerfCounters {
                 cycles: self.sys.n() as u64 * MPE_UPDATE_CYCLES_PER_PARTICLE,
@@ -341,7 +367,8 @@ impl Engine {
         if let Some(cs) = &self.constraints {
             cs.apply(&mut self.sys, &old_pos, self.config.dt);
             let n_mol = cs.constraints.len() as u64 / 3;
-            self.breakdown.add(
+            charge(
+                &mut self.breakdown,
                 "Constraints",
                 PerfCounters {
                     cycles: n_mol * MPE_SETTLE_CYCLES_PER_MOL,
@@ -365,7 +392,8 @@ impl Engine {
             if fast {
                 fastio::write_frame(&mut self.traj_sink, &self.sys.pos).ok();
             }
-            self.breakdown.add(
+            charge(
+                &mut self.breakdown,
                 "Write traj",
                 PerfCounters {
                     cycles: fastio::cost::frame_cycles(3 * self.sys.n() as u64, fast),
@@ -503,12 +531,28 @@ impl MultiCgModel {
             let dd_per_rebuild =
                 4.0 * swnet::halo_exchange_ns(&self.net, &topo, transport, 6, halo_bytes);
             let n_rebuilds = n_steps.div_ceil(10) as f64;
-            breakdown.add("Wait + comm. F", ns_counters(halo_wait * n_steps as f64));
-            breakdown.add("Comm. energies", ns_counters(allreduce * n_steps as f64));
-            breakdown.add("Domain decomp.", ns_counters(dd_per_rebuild * n_rebuilds));
+            charge(
+                &mut breakdown,
+                "Wait + comm. F",
+                ns_counters(halo_wait * n_steps as f64),
+            );
+            charge(
+                &mut breakdown,
+                "Comm. energies",
+                ns_counters(allreduce * n_steps as f64),
+            );
+            charge(
+                &mut breakdown,
+                "Domain decomp.",
+                ns_counters(dd_per_rebuild * n_rebuilds),
+            );
             if let Some(grid) = self.pme_grid {
                 let pme = swnet::pme_fft_comm_ns(&self.net, &topo, transport, grid);
-                breakdown.add("PME comm.", ns_counters(pme * n_steps as f64));
+                charge(
+                    &mut breakdown,
+                    "PME comm.",
+                    ns_counters(pme * n_steps as f64),
+                );
             }
         }
 

@@ -49,6 +49,7 @@ pub fn run_bonded_cpe(sys: &System, cg: &CoreGroup) -> BondedCpeResult {
         }
     }
 
+    swprof::next_region_label("bonded.calc");
     let run = cg.spawn(|ctx| {
         ctx.ldm
             .reserve("molecule batch", 2 * MOLS_PER_BATCH * 4 * 12)

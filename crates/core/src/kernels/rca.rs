@@ -34,6 +34,7 @@ pub fn run_rca(
     let n_pkg = psys.n_packages();
     let pkg_geo = CacheGeometry::paper_default(PKG_WORDS);
 
+    swprof::next_region_label("rca.calc");
     let calc = cg.spawn(|ctx| {
         ctx.ldm
             .reserve("read cache", pkg_geo.ldm_bytes())
@@ -80,7 +81,7 @@ pub fn run_rca(
             );
             forces.push((ci, fi));
         }
-        (forces, e_lj, e_coul, n_pairs, read_cache.stats())
+        (forces, e_lj, e_coul, n_pairs, read_cache.stats().clone())
     });
 
     let mut slot_forces = vec![0.0f32; n_pkg * FORCE_WORDS];

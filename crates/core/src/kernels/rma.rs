@@ -117,6 +117,7 @@ pub fn run_rma(
 
     // ---- init phase: zero the per-CPE copies (skipped with marks) ----
     if !cfg.marks {
+        swprof::next_region_label("rma.init");
         let init = cg.spawn(|ctx| {
             // Each CPE streams zeros over its whole copy at contended
             // bandwidth, in cache-line-sized puts.
@@ -140,6 +141,7 @@ pub fn run_rma(
     }
 
     // ---- calculation phase ----
+    swprof::next_region_label("rma.calc");
     let calc = cg.spawn(|ctx| {
         // LDM budget: caches + accumulators + list stream buffer.
         let copy_base_words = ctx.id * copy_stride;
@@ -262,11 +264,14 @@ pub fn run_rma(
 
         // Flush the write cache so the copy is complete.
         let (read_stats, write_stats) = {
-            let rs = read_cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+            let rs = read_cache
+                .as_ref()
+                .map(|c| c.stats().clone())
+                .unwrap_or_default();
             let ws = match write_cache.as_mut() {
                 Some(wc) => {
                     wc.flush(&mut ctx.perf, &mut copy);
-                    wc.stats()
+                    wc.stats().clone()
                 }
                 None => Default::default(),
             };
@@ -302,6 +307,17 @@ pub fn run_rma(
     } else {
         None
     };
+    if swprof::enabled() {
+        if let Some(marks) = &mark_refs {
+            // Bit-Map coverage: how many copy lines were ever touched.
+            // The untouched remainder is exactly the fetch + reduce work
+            // the marks eliminate (§3.3).
+            let touched: u64 = marks.iter().map(|m| m.count_ones() as u64).sum();
+            let total: u64 = marks.iter().map(|m| m.len() as u64).sum();
+            swprof::metrics::counter_add("bitmap.lines_touched", touched);
+            swprof::metrics::counter_add("bitmap.lines_total", total);
+        }
+    }
     let wc_ids: Vec<u64> = calc.results.iter().filter_map(|o| o.wc_id).collect();
     let cache_ids = (wc_ids.len() == copies.len()).then_some(wc_ids.as_slice());
     let (slot_forces, reduce_region) = reduce_copies(
@@ -419,6 +435,7 @@ pub fn reduce_copies(
     // Copies are padded to a whole number of lines (see `run_rma`).
     let copy_stride = n_lines * line_words;
 
+    swprof::next_region_label("rma.reduce");
     let out = cg.spawn(|ctx| {
         ctx.ldm
             .reserve("reduce buffers", 2 * geo.line_bytes())

@@ -38,6 +38,7 @@ pub fn run_ustc(
     let n_pkg = psys.n_packages();
     let pkg_geo = CacheGeometry::paper_default(PKG_WORDS);
 
+    swprof::next_region_label("ustc.calc");
     let calc = cg.spawn(|ctx| {
         ctx.ldm
             .reserve("read cache", pkg_geo.ldm_bytes())
@@ -86,7 +87,7 @@ pub fn run_ustc(
             DmaEngine::transfer_shared(&mut ctx.perf, Dir::Put, RECORD_BYTES, true);
             records.push((ci as u32, fi));
         }
-        (records, e_lj, e_coul, n_pairs, read_cache.stats())
+        (records, e_lj, e_coul, n_pairs, read_cache.stats().clone())
     });
 
     // MPE side: apply every record serially. The pipeline overlaps with

@@ -89,6 +89,7 @@ pub fn generate_pairlist(
     let geo = CacheGeometry::new(16, ways, 8, CENTER_WORDS);
     let member_geo = CacheGeometry::new(16, ways, 8, 12);
 
+    swprof::next_region_label("pairgen.search");
     let run = cg.spawn(|ctx| {
         ctx.ldm
             .reserve("center cache", geo.ldm_bytes())
@@ -146,7 +147,7 @@ pub fn generate_pairlist(
         if staged_bytes > 0 {
             DmaEngine::transfer_shared(&mut ctx.perf, Dir::Put, staged_bytes, true);
         }
-        (local, cache.stats())
+        (local, cache.stats().clone())
     });
 
     // Gather phase: concatenate per-CPE lists in cluster order and build
@@ -228,7 +229,7 @@ pub fn grid_walk_miss_study(ways: usize) -> f64 {
             }
         }
     }
-    cache.stats().miss_ratio()
+    cache.stats().miss_ratio().unwrap_or(0.0)
 }
 
 type CpeLocal = (Vec<(u32, Vec<u32>)>, sw26010::CacheStats);

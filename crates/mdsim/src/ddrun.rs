@@ -75,9 +75,14 @@ pub fn compute_forces_dd(
     // directly, which *is* the "send home and add" reduction (ranks are
     // executed sequentially, so there is no write conflict to emulate).
     for (rank, local) in parts.iter().enumerate() {
+        let _rank_span = swprof::span("dd.rank");
         let halo = decomposition.halo_of(rank, &all_pos, params.r_cut);
         stats.local.push(local.len());
         stats.halo.push(halo.len());
+        if swprof::enabled() {
+            swprof::metrics::counter_add("dd.local_particles", local.len() as u64);
+            swprof::metrics::counter_add("dd.halo_particles", halo.len() as u64);
+        }
 
         // The rank's visible particle set: locals then halos.
         let mut visible: Vec<u32> = Vec::with_capacity(local.len() + halo.len());
@@ -133,6 +138,9 @@ pub fn compute_forces_dd(
             });
         }
         stats.forces_returned.push(halo_forces);
+        if swprof::enabled() {
+            swprof::metrics::counter_add("dd.forces_returned", halo_forces as u64);
+        }
     }
     (en, stats)
 }

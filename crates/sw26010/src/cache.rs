@@ -20,26 +20,56 @@ use crate::dma::{Dir, DmaEngine};
 use crate::perf::PerfCounters;
 
 /// Hit/miss statistics for one cache instance.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Accesses that found their line resident.
     pub hits: u64,
     /// Accesses that required a line fill.
     pub misses: u64,
+    /// Valid lines displaced by a conflicting fill.
+    pub evictions: u64,
     /// Dirty-line writebacks (write cache only).
     pub writebacks: u64,
     /// Line fills skipped because the Bit-Map proved the line all-zero.
     pub init_skips: u64,
+    /// Evictions broken down by set index, for conflict diagnostics.
+    pub per_set_evictions: Vec<u64>,
+    /// Writebacks broken down by set index (write cache only).
+    pub per_set_writebacks: Vec<u64>,
 }
 
 impl CacheStats {
-    /// Miss ratio in [0, 1]; 0 for an untouched cache.
-    pub fn miss_ratio(&self) -> f64 {
+    fn for_sets(n_sets: usize) -> Self {
+        Self {
+            per_set_evictions: vec![0; n_sets],
+            per_set_writebacks: vec![0; n_sets],
+            ..Self::default()
+        }
+    }
+
+    /// Miss ratio in [0, 1], or `None` for an untouched cache — a cold
+    /// cache has no meaningful ratio, and reporting `0.0` would read as a
+    /// perfect hit rate.
+    pub fn miss_ratio(&self) -> Option<f64> {
         let total = self.hits + self.misses;
         if total == 0 {
-            0.0
+            None
         } else {
-            self.misses as f64 / total as f64
+            Some(self.misses as f64 / total as f64)
+        }
+    }
+
+    /// Set index with the most evictions, if any eviction happened.
+    pub fn hottest_set(&self) -> Option<usize> {
+        let (set, &n) = self
+            .per_set_evictions
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &n)| n)?;
+        if n == 0 {
+            None
+        } else {
+            Some(set)
         }
     }
 }
@@ -229,7 +259,7 @@ impl ReadCache {
             tags: vec![INVALID; geo.n_sets * geo.ways],
             lru: vec![0; geo.n_sets],
             data: vec![0.0; geo.n_sets * geo.ways * geo.line_words()],
-            stats: CacheStats::default(),
+            stats: CacheStats::for_sets(geo.n_sets),
             trace_id: crate::trace::next_cache_id(),
             binding: None,
         }
@@ -254,8 +284,8 @@ impl ReadCache {
     }
 
     /// Statistics so far.
-    pub fn stats(&self) -> CacheStats {
-        self.stats
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
     }
 
     /// LDM footprint of this cache.
@@ -313,6 +343,10 @@ impl ReadCache {
             self.lru[set] = (v ^ 1) as u8;
             v
         };
+        if self.tags[set * self.geo.ways + victim] != INVALID {
+            self.stats.evictions += 1;
+            self.stats.per_set_evictions[set] += 1;
+        }
         let line_base_elem = self.geo.line_base(idx);
         let word_base = line_base_elem * self.geo.elem_words;
         let lw = self.geo.line_words();
@@ -336,6 +370,18 @@ impl ReadCache {
         }
         self.tags[set * self.geo.ways + victim] = tag as i64;
         victim
+    }
+}
+
+impl Drop for ReadCache {
+    /// Fold this instance's lifetime statistics into the swprof registry
+    /// (aggregation at drop keeps the per-access fast path lock-free).
+    fn drop(&mut self) {
+        if swprof::enabled() {
+            swprof::metrics::counter_add("cache.read.hits", self.stats.hits);
+            swprof::metrics::counter_add("cache.read.misses", self.stats.misses);
+            swprof::metrics::counter_add("cache.read.evictions", self.stats.evictions);
+        }
     }
 }
 
@@ -374,7 +420,7 @@ impl WriteCache {
             tags: vec![INVALID; geo.n_sets],
             data: vec![0.0; geo.n_sets * geo.line_words()],
             marks: None,
-            stats: CacheStats::default(),
+            stats: CacheStats::for_sets(geo.n_sets),
             trace_id: crate::trace::next_cache_id(),
             binding: None,
         })
@@ -416,8 +462,8 @@ impl WriteCache {
     }
 
     /// Statistics so far.
-    pub fn stats(&self) -> CacheStats {
-        self.stats
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
     }
 
     /// The mark bitmap, if marks are enabled.
@@ -486,6 +532,8 @@ impl WriteCache {
         self.stats.misses += 1;
         // Evict current occupant if valid (Alg. 3 line 8-10).
         if self.tags[set] >= 0 {
+            self.stats.evictions += 1;
+            self.stats.per_set_evictions[set] += 1;
             self.writeback_set(perf, backing, set);
         }
         let line_no = self.geo.line_number(idx);
@@ -530,6 +578,7 @@ impl WriteCache {
         let tag = self.tags[set];
         debug_assert!(tag >= 0);
         self.stats.writebacks += 1;
+        self.stats.per_set_writebacks[set] += 1;
         // Reconstruct the backing element index: idx = ((tag << n) | set) << m.
         let line_elem_base = (((tag as usize) << self.geo.n()) | set) << self.geo.m();
         let word_base = line_elem_base * self.geo.elem_words;
@@ -572,6 +621,13 @@ impl Drop for WriteCache {
             if !lines.is_empty() {
                 crate::trace::emit_wc_drop_dirty(self.trace_id, lines);
             }
+        }
+        if swprof::enabled() {
+            swprof::metrics::counter_add("cache.write.hits", self.stats.hits);
+            swprof::metrics::counter_add("cache.write.misses", self.stats.misses);
+            swprof::metrics::counter_add("cache.write.evictions", self.stats.evictions);
+            swprof::metrics::counter_add("cache.write.writebacks", self.stats.writebacks);
+            swprof::metrics::counter_add("cache.write.init_skips", self.stats.init_skips);
         }
     }
 }
@@ -776,6 +832,53 @@ mod tests {
         // Display strings carry the offending value for diagnostics.
         let msg = CacheConfigError::SetsNotPowerOfTwo { n_sets: 3 }.to_string();
         assert!(msg.contains('3'), "{msg}");
+    }
+
+    #[test]
+    fn untouched_cache_has_no_miss_ratio() {
+        let c = ReadCache::new(geo());
+        assert_eq!(c.stats().miss_ratio(), None);
+        let mut c = ReadCache::new(geo());
+        let mem = backing(16);
+        let mut p = PerfCounters::new();
+        c.get(&mut p, &mem, 0);
+        assert_eq!(c.stats().miss_ratio(), Some(1.0));
+    }
+
+    #[test]
+    fn evictions_are_counted_per_set() {
+        // Elements 0 and 16 conflict in set 0 of the 4x4 geometry; the
+        // second and every later fill displaces a valid line.
+        let g = geo();
+        let mem = backing(64);
+        let mut c = ReadCache::new(g);
+        let mut p = PerfCounters::new();
+        for _ in 0..5 {
+            c.get(&mut p, &mem, 0);
+            c.get(&mut p, &mem, 16);
+        }
+        let s = c.stats();
+        assert_eq!(s.misses, 10);
+        assert_eq!(s.evictions, 9, "all fills but the first evict");
+        assert_eq!(s.per_set_evictions[0], 9);
+        assert!(s.per_set_evictions[1..].iter().all(|&n| n == 0));
+        assert_eq!(s.hottest_set(), Some(0));
+
+        // Write-cache conflicts: each eviction is also a writeback, and
+        // the final flush writes back without evicting.
+        let mut copy = vec![0.0f32; 64 * 2];
+        let mut wc = WriteCache::new(g);
+        let mut p = PerfCounters::new();
+        for _ in 0..3 {
+            wc.update(&mut p, &mut copy, 0, &[1.0, 0.0]);
+            wc.update(&mut p, &mut copy, 16, &[0.0, 1.0]);
+        }
+        wc.flush(&mut p, &mut copy);
+        let s = wc.stats();
+        assert_eq!(s.evictions, 5);
+        assert_eq!(s.per_set_evictions[0], 5);
+        assert_eq!(s.writebacks, 6, "5 eviction writebacks + 1 flush");
+        assert_eq!(s.per_set_writebacks[0], 6);
     }
 
     #[test]

@@ -118,6 +118,13 @@ impl CoreGroup {
     {
         let n = self.n_cpes;
         let epoch = crate::trace::begin_region(n);
+        // Profiling: per-CPE spans labeled by the kernel layer (via
+        // `swprof::next_region_label`), aligned to the MPE clock at spawn
+        // time so kernel spans sit under the engine stage that issued
+        // them. One relaxed load when no session is active.
+        let profiling = swprof::enabled();
+        let region_label = swprof::take_region_label().unwrap_or("spawn");
+        let prof_base = swprof::track_cursor(None);
         let mut slots: Vec<Option<(R, PerfCounters)>> = (0..n).map(|_| None).collect();
         let threads = std::thread::available_parallelism()
             .map(|p| p.get())
@@ -133,9 +140,26 @@ impl CoreGroup {
                 let kernel = &kernel;
                 handles.push(s.spawn(move |_| {
                     for (off, slot) in slice.iter_mut().enumerate() {
-                        crate::trace::set_current_cpe(Some(base + off));
-                        let mut ctx = CpeCtx::new(base + off);
-                        let r = kernel(&mut ctx);
+                        let id = base + off;
+                        crate::trace::set_current_cpe(Some(id));
+                        let mut ctx = CpeCtx::new(id);
+                        let r = if profiling {
+                            swprof::set_track(Some(id));
+                            swprof::align_track(Some(id), prof_base);
+                            let t0 = swprof::track_cursor(Some(id));
+                            let span = swprof::span(region_label);
+                            let r = kernel(&mut ctx);
+                            // Charge this instance's metered cycles to
+                            // its timeline, net of anything the kernel
+                            // already ticked itself.
+                            let ticked = swprof::track_cursor(Some(id)).saturating_sub(t0);
+                            swprof::tick(ctx.perf.cycles.saturating_sub(ticked));
+                            drop(span);
+                            swprof::set_track(None);
+                            r
+                        } else {
+                            kernel(&mut ctx)
+                        };
                         crate::trace::set_current_cpe(None);
                         *slot = Some((r, ctx.perf));
                     }

@@ -57,7 +57,28 @@ impl DmaEngine {
         perf.dma_cycles += cycles;
         perf.dma_transactions += 1;
         perf.dma_bytes += size as u64;
+        Self::meter(dir, size, aligned);
         crate::trace::emit_dma(dir, None, 0, size, aligned);
+    }
+
+    /// Feed the swprof metrics registry (no-op without a session).
+    fn meter(dir: Dir, size: usize, aligned: bool) {
+        if !swprof::enabled() {
+            return;
+        }
+        swprof::metrics::counter_add("dma.transactions", 1);
+        swprof::metrics::counter_add("dma.bytes", size as u64);
+        swprof::metrics::counter_add(
+            match dir {
+                Dir::Get => "dma.get.bytes",
+                Dir::Put => "dma.put.bytes",
+            },
+            size as u64,
+        );
+        if !aligned {
+            swprof::metrics::counter_add("dma.unaligned", 1);
+        }
+        swprof::metrics::histogram_record("dma.txn_bytes", size as u64);
     }
 
     /// Issue a transfer from a CPE *while the other CPEs are also
@@ -76,6 +97,7 @@ impl DmaEngine {
             return;
         }
         Self::shared_cost(perf, size, aligned);
+        Self::meter(dir, size, aligned);
         crate::trace::emit_dma(dir, None, 0, size, aligned);
     }
 
@@ -98,6 +120,7 @@ impl DmaEngine {
         }
         let aligned = Self::is_aligned(byte_off);
         Self::shared_cost(perf, size, aligned);
+        Self::meter(dir, size, aligned);
         crate::trace::emit_dma(dir, Some(region), byte_off, size, aligned);
         if dir == Dir::Put {
             crate::trace::shared_write(region, byte_off / 4, (byte_off + size).div_ceil(4));

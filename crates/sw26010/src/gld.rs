@@ -20,6 +20,9 @@ pub fn gld_dependent(perf: &mut PerfCounters, n: u64) {
     perf.cycles += cycles;
     perf.gld_cycles += cycles;
     perf.gld_ops += n;
+    if swprof::enabled() {
+        swprof::metrics::counter_add("gld.ops", n);
+    }
     crate::trace::emit_gld(n);
 }
 
@@ -32,6 +35,9 @@ pub fn gld_pipelined(perf: &mut PerfCounters, n: u64) {
     perf.cycles += cycles;
     perf.gld_cycles += cycles;
     perf.gld_ops += n;
+    if swprof::enabled() {
+        swprof::metrics::counter_add("gld.ops", n);
+    }
     crate::trace::emit_gld(n);
 }
 

@@ -68,6 +68,9 @@ impl Ldm {
     /// Reserve `bytes` of LDM under `label`. Fails if capacity is exceeded.
     pub fn reserve(&mut self, label: &'static str, bytes: usize) -> Result<(), LdmOverflow> {
         if self.in_use + bytes > self.capacity {
+            if swprof::enabled() {
+                swprof::metrics::counter_add("ldm.overflows", 1);
+            }
             crate::trace::emit_ldm(label, bytes, self.in_use, self.capacity, false);
             return Err(LdmOverflow {
                 requested: bytes,
@@ -78,6 +81,9 @@ impl Ldm {
         }
         self.in_use += bytes;
         self.reservations.push((label, bytes));
+        if swprof::enabled() {
+            swprof::metrics::gauge_max("ldm.high_water_bytes", self.in_use as u64);
+        }
         crate::trace::emit_ldm(label, bytes, self.in_use, self.capacity, true);
         Ok(())
     }

@@ -200,9 +200,12 @@ pub fn next_cache_id() -> u64 {
     NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed)
 }
 
-/// Open a new spawn epoch, returning its number.
+/// Open a new spawn epoch, returning its number. The epoch is mirrored
+/// into the `swprof` profiler so span timelines stay keyed to the same
+/// region numbering the race detector uses.
 pub fn begin_region(n_cpes: usize) -> u64 {
     let epoch = EPOCH.fetch_add(1, Ordering::Relaxed) + 1;
+    swprof::set_epoch(epoch);
     if enabled() {
         push(Event::SpawnBegin { epoch, n_cpes });
     }

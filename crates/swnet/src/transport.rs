@@ -28,6 +28,18 @@ pub fn message_ns(
     if dist == RankDistance::SameRank {
         return 0.0;
     }
+    if swprof::enabled() {
+        swprof::metrics::counter_add("net.messages", 1);
+        swprof::metrics::counter_add(
+            match transport {
+                Transport::Mpi => "net.mpi.messages",
+                Transport::Rdma => "net.rdma.messages",
+            },
+            1,
+        );
+        swprof::metrics::counter_add("net.bytes", bytes as u64);
+        swprof::metrics::histogram_record("net.msg_bytes", bytes as u64);
+    }
     let lat = params.latency_ns(dist);
     let stream = bytes as f64 / params.bandwidth_gbs;
     match transport {

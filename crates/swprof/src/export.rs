@@ -1,0 +1,297 @@
+//! Exporters: Chrome `trace_event` JSON, JSON-lines metrics, and a
+//! human report table.
+//!
+//! The Chrome trace loads directly in `chrome://tracing` or
+//! <https://ui.perfetto.dev>: one process ("SW26010 CG"), one named
+//! thread per timeline (tid 0 = MPE, tid `1+i` = CPE `i`), duration
+//! events as strictly nested `B`/`E` pairs. Timestamps are the virtual
+//! track clocks converted to microseconds via the caller-supplied
+//! `ns_per_cycle` (pass `sw26010::params::cycles_to_ns(1)` — this crate
+//! sits below the substrate and does not know the clock rate).
+
+use crate::json::{number, write_escaped};
+use crate::metrics::{Metric, Snapshot};
+use crate::{Phase, Profile, Track};
+use std::fmt::Write as _;
+
+fn tid(track: Track) -> usize {
+    match track {
+        None => 0,
+        Some(cpe) => 1 + cpe,
+    }
+}
+
+/// Render a profile as Chrome `trace_event` JSON.
+pub fn chrome_trace(profile: &Profile, ns_per_cycle: f64) -> String {
+    let us_per_cycle = ns_per_cycle / 1_000.0;
+    let mut out = String::with_capacity(256 + profile.spans.len() * 96);
+    out.push_str("{\"traceEvents\":[\n");
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"SW26010 CG\"}}",
+    );
+    for track in profile.tracks() {
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"name\":{}}}}}",
+            tid(track),
+            crate::json::escaped(&crate::track_name(track)),
+        );
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"sort_index\":{}}}}}",
+            tid(track),
+            tid(track),
+        );
+    }
+    // Per-track subsequence order in `spans` is exact; grouping by track
+    // keeps every B/E stream contiguous and monotone for the viewer.
+    for track in profile.tracks() {
+        for ev in profile.track_events(track) {
+            let ph = match ev.phase {
+                Phase::Begin => "B",
+                Phase::End => "E",
+            };
+            let _ = write!(
+                out,
+                ",\n{{\"name\":{},\"cat\":\"sim\",\"ph\":\"{}\",\"pid\":0,\"tid\":{},\"ts\":{},\"args\":{{\"epoch\":{}}}}}",
+                crate::json::escaped(&ev.label),
+                ph,
+                tid(ev.track),
+                number(ev.ts as f64 * us_per_cycle),
+                ev.epoch,
+            );
+        }
+    }
+    let _ = write!(
+        out,
+        "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{{\"ns_per_cycle\":{}}}}}",
+        number(ns_per_cycle)
+    );
+    out
+}
+
+/// Render a metrics snapshot as JSON lines: one object per metric.
+///
+/// Counters/gauges: `{"name":..,"kind":..,"value":N}`. Histograms:
+/// `{"name":..,"kind":"histogram","count":N,"sum":S,"mean":M,
+/// "buckets":[..33 counts..]}`.
+pub fn metrics_jsonl(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, metric) in snapshot {
+        out.push('{');
+        out.push_str("\"name\":");
+        write_escaped(&mut out, name);
+        let _ = write!(out, ",\"kind\":\"{}\"", metric.kind());
+        match metric {
+            Metric::Counter(v) | Metric::Gauge(v) => {
+                let _ = write!(out, ",\"value\":{v}");
+            }
+            Metric::Histogram(h) => {
+                let _ = write!(
+                    out,
+                    ",\"count\":{},\"sum\":{},\"mean\":{},\"buckets\":[",
+                    h.count,
+                    h.sum,
+                    number(h.mean())
+                );
+                for (i, b) in h.buckets.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{b}");
+                }
+                out.push(']');
+            }
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Table-1-style report: per-label cycle totals on the MPE timeline with
+/// percentages, followed by the per-CPE utilization summary and the
+/// metrics snapshot. Labels are ordered by first appearance in the span
+/// stream (insertion order, like `Breakdown`).
+pub fn report(profile: &Profile, ns_per_cycle: f64) -> String {
+    let mut out = String::new();
+    let totals = profile.span_totals_on(None);
+    // Wrapper labels (e.g. the per-step "step" span enclosing every
+    // stage) are reported separately so percentages sum over real stages.
+    let (wrappers, stages) = split_wrappers(profile);
+    let stage_sum: u64 = stages
+        .iter()
+        .map(|l| totals.get(*l).copied().unwrap_or(0))
+        .sum();
+
+    let _ = writeln!(
+        out,
+        "{:<24} {:>16} {:>10} {:>10}",
+        "stage", "cycles", "ms", "%"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(64));
+    for label in &stages {
+        let cycles = totals.get(*label).copied().unwrap_or(0);
+        let ms = cycles as f64 * ns_per_cycle / 1e6;
+        let pct = if stage_sum == 0 {
+            0.0
+        } else {
+            100.0 * cycles as f64 / stage_sum as f64
+        };
+        let _ = writeln!(out, "{label:<24} {cycles:>16} {ms:>10.3} {pct:>9.1}%");
+    }
+    let _ = writeln!(out, "{}", "-".repeat(64));
+    let _ = writeln!(
+        out,
+        "{:<24} {:>16} {:>10.3}",
+        "total",
+        stage_sum,
+        stage_sum as f64 * ns_per_cycle / 1e6
+    );
+    for w in &wrappers {
+        let cycles = totals.get(*w).copied().unwrap_or(0);
+        let _ = writeln!(out, "  (enclosing span `{w}`: {cycles} cycles)");
+    }
+
+    let cpe_tracks: Vec<Track> = profile
+        .tracks()
+        .into_iter()
+        .filter(|t| t.is_some())
+        .collect();
+    if !cpe_tracks.is_empty() {
+        let busiest = profile
+            .spans
+            .iter()
+            .filter(|e| e.track.is_some())
+            .map(|e| e.ts)
+            .max()
+            .unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "\n{} CPE timelines captured; busiest CPE clock: {} cycles",
+            cpe_tracks.len(),
+            busiest
+        );
+    }
+
+    if !profile.metrics.is_empty() {
+        let _ = writeln!(out, "\n{:<32} {:>12}  kind", "metric", "value");
+        let _ = writeln!(out, "{}", "-".repeat(58));
+        for (name, m) in &profile.metrics {
+            match m {
+                Metric::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "{name:<32} {:>12}  histogram (n={}, mean={:.1})",
+                        h.sum,
+                        h.count,
+                        h.mean()
+                    );
+                }
+                _ => {
+                    let _ = writeln!(out, "{name:<32} {:>12}  {}", m.value(), m.kind());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Split MPE labels into (wrappers, stages): a wrapper label only ever
+/// appears at depth 0 and strictly contains other spans; stages are
+/// everything else, in first-appearance order.
+fn split_wrappers(profile: &Profile) -> (Vec<&str>, Vec<&str>) {
+    let mut order: Vec<&str> = Vec::new();
+    for ev in profile.track_events(None) {
+        if ev.phase == Phase::Begin && !order.contains(&ev.label.as_ref()) {
+            order.push(ev.label.as_ref());
+        }
+    }
+    let spans = match profile.closed_spans() {
+        Ok(s) => s,
+        Err(_) => return (Vec::new(), order),
+    };
+    let mpe: Vec<&crate::ClosedSpan> = spans.iter().filter(|s| s.track.is_none()).collect();
+    let mut wrappers = Vec::new();
+    let mut stages = Vec::new();
+    for label in order {
+        let only_top = mpe
+            .iter()
+            .filter(|s| s.label == label)
+            .all(|s| s.depth == 0);
+        let contains_other = mpe.iter().any(|s| {
+            s.depth > 0
+                && mpe
+                    .iter()
+                    .any(|p| p.label == label && p.start <= s.start && s.end <= p.end)
+        });
+        let has_deeper_twin = mpe.iter().any(|s| s.label == label && s.depth > 0);
+        if only_top && contains_other && !has_deeper_twin && mpe.iter().any(|s| s.label == label) {
+            wrappers.push(label);
+        } else {
+            stages.push(label);
+        }
+    }
+    (wrappers, stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{json, metrics, span, stage, Session};
+
+    fn sample_profile() -> Profile {
+        let s = Session::begin();
+        {
+            let _step = span("step");
+            stage("Force", 900);
+            stage("Update", 100);
+        }
+        metrics::counter_add("dma.bytes", 2048);
+        metrics::histogram_record("net.msg_bytes", 64);
+        s.finish()
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_metadata() {
+        let p = sample_profile();
+        let doc = chrome_trace(&p, 0.69);
+        let v = json::parse(&doc).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").unwrap().as_str() == Some("M")));
+        let begins = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("B"))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("E"))
+            .count();
+        assert_eq!(begins, 3);
+        assert_eq!(begins, ends);
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse() {
+        let p = sample_profile();
+        let dump = metrics_jsonl(&p.metrics);
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), p.metrics.len());
+        for line in lines {
+            let v = json::parse(line).expect("line parses");
+            assert!(v.get("name").is_some() && v.get("kind").is_some());
+        }
+    }
+
+    #[test]
+    fn report_lists_stages_and_percentages() {
+        let p = sample_profile();
+        let r = report(&p, 1.0);
+        assert!(r.contains("Force"), "{r}");
+        assert!(r.contains("90.0%"), "{r}");
+        assert!(r.contains("10.0%"), "{r}");
+        assert!(r.contains("enclosing span `step`"), "{r}");
+        assert!(r.contains("dma.bytes"), "{r}");
+    }
+}

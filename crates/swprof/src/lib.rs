@@ -1,0 +1,573 @@
+//! # swprof — observability for the whole simulated stack
+//!
+//! A zero-cost-when-disabled profiling layer with three parts:
+//!
+//! 1. **Hierarchical span profiler** — [`span!`] opens an RAII guard on
+//!    the calling core's timeline (MPE or one of the 64 CPEs); nested
+//!    spans nest strictly, and [`tick`] advances the timeline by
+//!    simulated cycles. Timelines are *virtual*: they are built from the
+//!    cost model's cycle charges, not host wall time, so two identical
+//!    runs produce identical profiles.
+//! 2. **Metrics registry** ([`metrics`]) — named counters, gauges, and
+//!    fixed-log2-bucket histograms fed by the substrate (DMA traffic,
+//!    cache hit/miss, LDM occupancy, Bit-Map touch ratios, message
+//!    sizes) behind one snapshot API.
+//! 3. **Exporters** ([`export`]) — Chrome `trace_event` JSON (spans on
+//!    per-CPE tracks, loadable in `chrome://tracing` / Perfetto), a flat
+//!    JSON-lines metrics dump, and a human report table reproducing the
+//!    paper's Table 1 breakdown from live spans.
+//!
+//! Like `sw26010::trace`, every emit site guards on one relaxed atomic
+//! load ([`enabled`]), so an instrumented binary with no active
+//! [`Session`] pays a single predictable branch per site.
+//!
+//! This crate sits *below* the hardware substrate in the dependency
+//! graph (it depends on nothing; `sw26010`, `swnet`, `mdsim`, and
+//! `swgmx` all emit into it). Core identity therefore uses plain
+//! numbers: a **track** is `None` for the MPE or `Some(cpe_id)` for a
+//! CPE, and the spawn-**epoch** counter is mirrored in by
+//! `sw26010::trace::begin_region` so span streams stay keyed to the
+//! same parallel-region numbering the race detector uses.
+//!
+//! ```
+//! let session = swprof::Session::begin();
+//! {
+//!     let _step = swprof::span!("step");
+//!     {
+//!         let _f = swprof::span!("force");
+//!         swprof::tick(1_000); // simulated cycles
+//!     }
+//!     swprof::tick(50);
+//! }
+//! swprof::metrics::counter_add("dma.bytes", 4096);
+//! let profile = session.finish();
+//! assert_eq!(profile.span_totals()["step"], 1_050);
+//! let json = swprof::export::chrome_trace(&profile, 1.0);
+//! assert!(swprof::json::parse(&json).is_ok());
+//! ```
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// A timeline: `None` is the MPE, `Some(i)` is CPE `i` (0..64).
+pub type Track = Option<usize>;
+
+/// Maximum number of tracks: one MPE + 64 CPEs.
+pub const MAX_TRACKS: usize = 65;
+
+/// B/E phase of a raw span event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Span opened.
+    Begin,
+    /// Span closed.
+    End,
+}
+
+/// One raw span-stream event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Timeline the event belongs to.
+    pub track: Track,
+    /// Span label.
+    pub label: Cow<'static, str>,
+    /// Begin or end.
+    pub phase: Phase,
+    /// Track-local virtual timestamp in simulated cycles.
+    pub ts: u64,
+    /// Spawn epoch current at emit time (mirrors `sw26010::trace`).
+    pub epoch: u64,
+}
+
+/// A span reconstructed from a matched Begin/End pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedSpan {
+    /// Timeline the span ran on.
+    pub track: Track,
+    /// Span label.
+    pub label: String,
+    /// Virtual start time (cycles).
+    pub start: u64,
+    /// Virtual end time (cycles).
+    pub end: u64,
+    /// Nesting depth on its track (0 = top level).
+    pub depth: usize,
+    /// Spawn epoch at begin time.
+    pub epoch: u64,
+}
+
+impl ClosedSpan {
+    /// Span duration in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EVENTS: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+static SESSION: Mutex<()> = Mutex::new(());
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+/// Absolute epoch of the first region seen this session, minus one
+/// (`u64::MAX` = none yet). The substrate's spawn-epoch counter is
+/// process-global and monotonic; rebasing keeps profiles from two
+/// identical runs bit-identical.
+static EPOCH_BASE: AtomicU64 = AtomicU64::new(u64::MAX);
+static REGION_LABEL: Mutex<Option<&'static str>> = Mutex::new(None);
+#[allow(clippy::declare_interior_mutable_const)]
+static CURSORS: [AtomicU64; MAX_TRACKS] = [const { AtomicU64::new(0) }; MAX_TRACKS];
+
+thread_local! {
+    static CURRENT_TRACK: std::cell::Cell<Track> = const { std::cell::Cell::new(None) };
+}
+
+/// Whether a profiling session is active. One relaxed atomic load — this
+/// is the whole disabled-path cost of every emit site.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn events() -> MutexGuard<'static, Vec<SpanEvent>> {
+    EVENTS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn track_index(track: Track) -> usize {
+    match track {
+        None => 0,
+        Some(cpe) => 1 + cpe.min(MAX_TRACKS - 2),
+    }
+}
+
+/// The calling thread's current track (`None` = MPE timeline).
+pub fn current_track() -> Track {
+    CURRENT_TRACK.with(|t| t.get())
+}
+
+/// Tag the calling thread as executing on `track`. `CoreGroup::spawn`
+/// calls this around each CPE kernel instance, mirroring
+/// `trace::set_current_cpe`.
+pub fn set_track(track: Track) {
+    CURRENT_TRACK.with(|t| t.set(track));
+}
+
+/// Mirror the spawn-epoch counter from `sw26010::trace` so span events
+/// carry the same region numbering as the race detector's events. The
+/// numbering is rebased so the session's first region is epoch 1, since
+/// the substrate counter is process-global and never resets.
+pub fn set_epoch(epoch: u64) {
+    if enabled() {
+        let _ = EPOCH_BASE.compare_exchange(
+            u64::MAX,
+            epoch.saturating_sub(1),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+        EPOCH.store(
+            epoch.saturating_sub(EPOCH_BASE.load(Ordering::Relaxed)),
+            Ordering::Relaxed,
+        );
+    }
+}
+
+/// Current virtual time of `track`, in cycles.
+pub fn track_cursor(track: Track) -> u64 {
+    CURSORS[track_index(track)].load(Ordering::Relaxed)
+}
+
+/// Advance `track`'s virtual clock to at least `ts` (used to align CPE
+/// timelines with the MPE stage that spawned them).
+pub fn align_track(track: Track, ts: u64) {
+    if enabled() {
+        CURSORS[track_index(track)].fetch_max(ts, Ordering::Relaxed);
+    }
+}
+
+/// Advance the calling thread's track by `cycles` of simulated time,
+/// attributing them to every span currently open on that track.
+#[inline]
+pub fn tick(cycles: u64) {
+    if !enabled() {
+        return;
+    }
+    CURSORS[track_index(current_track())].fetch_add(cycles, Ordering::Relaxed);
+}
+
+/// Label the next `CoreGroup::spawn` region so its per-CPE spans carry a
+/// meaningful name (e.g. `"rma.calc"`). Consumed by [`take_region_label`].
+pub fn next_region_label(label: &'static str) {
+    if enabled() {
+        *REGION_LABEL.lock().unwrap_or_else(|e| e.into_inner()) = Some(label);
+    }
+}
+
+/// Consume the label set by [`next_region_label`] (spawn-side).
+pub fn take_region_label() -> Option<&'static str> {
+    if !enabled() {
+        return None;
+    }
+    REGION_LABEL
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take()
+}
+
+/// RAII span guard: emits a Begin event on creation and the matching End
+/// on drop — including during panic unwinding, so span streams stay
+/// strictly nested even when a kernel dies mid-flight.
+#[derive(Debug)]
+#[must_use = "a span closes when dropped; binding it to _ closes it immediately"]
+pub struct Span {
+    track: Track,
+    label: Option<Cow<'static, str>>,
+}
+
+impl Span {
+    fn disarmed() -> Self {
+        Self {
+            track: None,
+            label: None,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(label) = self.label.take() {
+            // The session may have finished while the span was open;
+            // emitting the End unconditionally keeps streams from a
+            // still-draining thread balanced rather than truncated.
+            events().push(SpanEvent {
+                track: self.track,
+                label,
+                phase: Phase::End,
+                ts: track_cursor(self.track),
+                epoch: EPOCH.load(Ordering::Relaxed),
+            });
+        }
+    }
+}
+
+/// Open a span on the calling thread's current track.
+pub fn span(label: impl Into<Cow<'static, str>>) -> Span {
+    if !enabled() {
+        return Span::disarmed();
+    }
+    span_on(current_track(), label)
+}
+
+/// Open a span on an explicit track (used when the issuing thread is not
+/// tagged, e.g. emitting a CPE-attributed span from the MPE).
+pub fn span_on(track: Track, label: impl Into<Cow<'static, str>>) -> Span {
+    if !enabled() {
+        return Span::disarmed();
+    }
+    let label = label.into();
+    events().push(SpanEvent {
+        track,
+        label: label.clone(),
+        phase: Phase::Begin,
+        ts: track_cursor(track),
+        epoch: EPOCH.load(Ordering::Relaxed),
+    });
+    Span {
+        track,
+        label: Some(label),
+    }
+}
+
+/// Record a completed stage of known simulated cost: a span of exactly
+/// `cycles` at the current track cursor. This is the engine's idiom for
+/// stages whose cost is known only after they ran.
+pub fn stage(label: impl Into<Cow<'static, str>>, cycles: u64) {
+    if !enabled() {
+        return;
+    }
+    let s = span(label);
+    tick(cycles);
+    drop(s);
+}
+
+/// Open a hierarchical span.
+///
+/// `span!("label")` opens it on the calling thread's track;
+/// `span!("label", cpe)` opens it on CPE `cpe`'s track explicitly.
+#[macro_export]
+macro_rules! span {
+    ($label:expr) => {
+        $crate::span($label)
+    };
+    ($label:expr, $cpe:expr) => {
+        $crate::span_on(Some($cpe), $label)
+    };
+}
+
+/// Everything captured by a finished [`Session`].
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Raw span stream, in global emit order (per-track order is exact).
+    pub spans: Vec<SpanEvent>,
+    /// Metrics registry snapshot, sorted by name.
+    pub metrics: metrics::Snapshot,
+}
+
+impl Profile {
+    /// Tracks that emitted at least one event, MPE first.
+    pub fn tracks(&self) -> Vec<Track> {
+        let mut seen = [false; MAX_TRACKS];
+        for ev in &self.spans {
+            seen[track_index(ev.track)] = true;
+        }
+        (0..MAX_TRACKS)
+            .filter(|&i| seen[i])
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect()
+    }
+
+    /// Events of one track in emit order.
+    pub fn track_events(&self, track: Track) -> impl Iterator<Item = &SpanEvent> {
+        self.spans.iter().filter(move |e| e.track == track)
+    }
+
+    /// Match Begin/End pairs per track into closed spans.
+    ///
+    /// Returns an error naming the offending track if any stream is not
+    /// strictly nested (an End without a Begin, a label mismatch, or an
+    /// unclosed Begin).
+    pub fn closed_spans(&self) -> Result<Vec<ClosedSpan>, String> {
+        let mut out = Vec::new();
+        for track in self.tracks() {
+            let mut stack: Vec<&SpanEvent> = Vec::new();
+            for ev in self.track_events(track) {
+                match ev.phase {
+                    Phase::Begin => stack.push(ev),
+                    Phase::End => {
+                        let open = stack.pop().ok_or_else(|| {
+                            format!("track {track:?}: End `{}` without Begin", ev.label)
+                        })?;
+                        if open.label != ev.label {
+                            return Err(format!(
+                                "track {track:?}: End `{}` closes Begin `{}`",
+                                ev.label, open.label
+                            ));
+                        }
+                        out.push(ClosedSpan {
+                            track,
+                            label: open.label.clone().into_owned(),
+                            start: open.ts,
+                            end: ev.ts,
+                            depth: stack.len(),
+                            epoch: open.epoch,
+                        });
+                    }
+                }
+            }
+            if let Some(open) = stack.last() {
+                return Err(format!(
+                    "track {track:?}: Begin `{}` never closed",
+                    open.label
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total cycles per span label, summed over all tracks and
+    /// occurrences. Nested spans each contribute their own duration
+    /// (so a label used at one depth reads exactly like a `Breakdown`
+    /// row). Unbalanced streams contribute their matched pairs only.
+    pub fn span_totals(&self) -> std::collections::BTreeMap<String, u64> {
+        let mut totals = std::collections::BTreeMap::new();
+        if let Ok(spans) = self.closed_spans() {
+            for s in &spans {
+                *totals.entry(s.label.clone()).or_insert(0) += s.cycles();
+            }
+        }
+        totals
+    }
+
+    /// Like [`Self::span_totals`] but restricted to one track.
+    pub fn span_totals_on(&self, track: Track) -> std::collections::BTreeMap<String, u64> {
+        let mut totals = std::collections::BTreeMap::new();
+        if let Ok(spans) = self.closed_spans() {
+            for s in spans.iter().filter(|s| s.track == track) {
+                *totals.entry(s.label.clone()).or_insert(0) += s.cycles();
+            }
+        }
+        totals
+    }
+}
+
+/// An active profiling session. Holds a global lock for its lifetime
+/// (concurrent sessions serialize, like `trace::Session`); dropping it
+/// stops capture.
+#[derive(Debug)]
+pub struct Session {
+    _guard: Option<MutexGuard<'static, ()>>,
+}
+
+impl Session {
+    /// Start profiling: clears the span sink, the metrics registry, and
+    /// every track clock, then enables capture.
+    pub fn begin() -> Self {
+        let guard = SESSION.lock().unwrap_or_else(|e| e.into_inner());
+        events().clear();
+        metrics::reset();
+        for c in &CURSORS {
+            c.store(0, Ordering::Relaxed);
+        }
+        EPOCH.store(0, Ordering::Relaxed);
+        EPOCH_BASE.store(u64::MAX, Ordering::Relaxed);
+        *REGION_LABEL.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        ENABLED.store(true, Ordering::SeqCst);
+        Self {
+            _guard: Some(guard),
+        }
+    }
+
+    /// Stop profiling and return everything captured since `begin`.
+    pub fn finish(self) -> Profile {
+        ENABLED.store(false, Ordering::SeqCst);
+        Profile {
+            spans: std::mem::take(&mut *events()),
+            metrics: metrics::snapshot(),
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Human-readable track name ("MPE", "CPE 7") used by exporters.
+pub fn track_name(track: Track) -> String {
+    match track {
+        None => "MPE".to_string(),
+        Some(cpe) => format!("CPE {cpe}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_emits_nothing() {
+        assert!(!enabled());
+        let s = span!("dead");
+        tick(100);
+        drop(s);
+        stage("dead2", 50);
+        let session = Session::begin();
+        let p = session.finish();
+        assert!(p.spans.is_empty());
+    }
+
+    #[test]
+    fn nested_spans_nest_and_total() {
+        let session = Session::begin();
+        {
+            let _outer = span!("outer");
+            tick(10);
+            {
+                let _inner = span!("inner");
+                tick(30);
+            }
+            tick(5);
+        }
+        let p = session.finish();
+        let spans = p.closed_spans().unwrap();
+        assert_eq!(spans.len(), 2);
+        let totals = p.span_totals();
+        assert_eq!(totals["outer"], 45);
+        assert_eq!(totals["inner"], 30);
+        let outer = spans.iter().find(|s| s.label == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.label == "inner").unwrap();
+        assert!(outer.start <= inner.start && inner.end <= outer.end);
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+    }
+
+    #[test]
+    fn stage_is_a_complete_span() {
+        let session = Session::begin();
+        stage("force", 1_000);
+        stage("force", 234);
+        stage("update", 6);
+        let p = session.finish();
+        let totals = p.span_totals();
+        assert_eq!(totals["force"], 1_234);
+        assert_eq!(totals["update"], 6);
+    }
+
+    #[test]
+    fn explicit_cpe_track() {
+        let session = Session::begin();
+        {
+            let _s = span!("kernel", 7);
+            align_track(Some(7), 0);
+            CURSORS[track_index(Some(7))].fetch_add(99, Ordering::Relaxed);
+        }
+        let p = session.finish();
+        assert_eq!(p.tracks(), vec![Some(7)]);
+        assert_eq!(p.span_totals_on(Some(7))["kernel"], 99);
+    }
+
+    #[test]
+    fn panic_still_closes_span() {
+        let session = Session::begin();
+        let result = std::panic::catch_unwind(|| {
+            let _s = span!("doomed");
+            tick(40);
+            panic!("kernel died");
+        });
+        assert!(result.is_err());
+        let p = session.finish();
+        let spans = p.closed_spans().expect("stream balanced after panic");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].cycles(), 40);
+    }
+
+    #[test]
+    fn align_track_only_moves_forward() {
+        let session = Session::begin();
+        align_track(Some(3), 500);
+        align_track(Some(3), 100);
+        assert_eq!(track_cursor(Some(3)), 500);
+        drop(session.finish());
+    }
+
+    #[test]
+    fn region_label_is_consumed_once() {
+        let session = Session::begin();
+        next_region_label("rma.calc");
+        assert_eq!(take_region_label(), Some("rma.calc"));
+        assert_eq!(take_region_label(), None);
+        drop(session.finish());
+    }
+
+    #[test]
+    fn threads_have_independent_tracks() {
+        let session = Session::begin();
+        set_track(None);
+        let h = std::thread::spawn(|| {
+            set_track(Some(2));
+            let _s = span!("cpe_work");
+            tick(64);
+        });
+        h.join().unwrap();
+        {
+            let _s = span!("mpe_work");
+            tick(8);
+        }
+        let p = session.finish();
+        assert_eq!(p.span_totals_on(Some(2))["cpe_work"], 64);
+        assert_eq!(p.span_totals_on(None)["mpe_work"], 8);
+    }
+}

@@ -1,0 +1,248 @@
+//! Process-global metrics registry: counters, gauges, and fixed
+//! log2-bucket histograms behind one snapshot API.
+//!
+//! The registry absorbs the stats that used to be scattered across the
+//! substrate — DMA bytes/transactions/alignment, cache hits/misses/
+//! evictions, LDM high-water occupancy, Bit-Map touched-line ratios,
+//! RDMA message sizes — into uniformly named series. Every mutator
+//! guards on [`crate::enabled`] (one relaxed atomic load when idle),
+//! and all updates are plain integer merges under one mutex, so a
+//! snapshot taken after two identical runs is bit-identical regardless
+//! of thread interleaving.
+//!
+//! Naming convention: dotted lowercase paths, most-significant system
+//! first (`dma.bytes`, `cache.read.misses`, `net.msg_bytes`).
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i >= 1`
+/// holds values `v` with `floor(log2(v)) == i - 1`, the last bucket
+/// absorbs everything larger.
+pub const HIST_BUCKETS: usize = 33;
+
+/// A histogram over fixed log2 buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Per-bucket counts (see [`HIST_BUCKETS`]).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    // [u64; 33] is past the 32-element Default impl limit.
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a value.
+    pub fn bucket_of(v: u64) -> usize {
+        match v {
+            0 => 0,
+            v => ((v.ilog2() as usize) + 1).min(HIST_BUCKETS - 1),
+        }
+    }
+
+    /// Inclusive-exclusive value range `[lo, hi)` of bucket `i`
+    /// (`hi = u64::MAX` for the overflow bucket).
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 1),
+            i if i < HIST_BUCKETS - 1 => (1 << (i - 1), 1 << i),
+            _ => (1 << (HIST_BUCKETS - 2), u64::MAX),
+        }
+    }
+
+    fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Metric {
+    /// Monotonically accumulating sum.
+    Counter(u64),
+    /// Last-set / maximum value (see [`gauge_set`] / [`gauge_max`]).
+    Gauge(u64),
+    /// Log2-bucketed distribution (boxed: the bucket array dwarfs the
+    /// scalar variants).
+    Histogram(Box<Histogram>),
+}
+
+impl Metric {
+    /// Kind name used by the JSONL exporter.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+
+    /// Scalar view: counter/gauge value, histogram sum.
+    pub fn value(&self) -> u64 {
+        match self {
+            Metric::Counter(v) | Metric::Gauge(v) => *v,
+            Metric::Histogram(h) => h.sum,
+        }
+    }
+}
+
+/// A sorted, point-in-time copy of the registry.
+pub type Snapshot = Vec<(String, Metric)>;
+
+static REGISTRY: Mutex<BTreeMap<&'static str, Metric>> = Mutex::new(BTreeMap::new());
+
+fn registry() -> MutexGuard<'static, BTreeMap<&'static str, Metric>> {
+    REGISTRY.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Add `v` to counter `name`, creating it at zero.
+#[inline]
+pub fn counter_add(name: &'static str, v: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    match registry().entry(name).or_insert(Metric::Counter(0)) {
+        Metric::Counter(c) => *c += v,
+        other => debug_assert!(false, "{name} is a {}", other.kind()),
+    }
+}
+
+/// Set gauge `name` to `v` (last write wins).
+#[inline]
+pub fn gauge_set(name: &'static str, v: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    *registry().entry(name).or_insert(Metric::Gauge(0)) = Metric::Gauge(v);
+}
+
+/// Raise gauge `name` to `v` if larger (high-water marks).
+#[inline]
+pub fn gauge_max(name: &'static str, v: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    match registry().entry(name).or_insert(Metric::Gauge(0)) {
+        Metric::Gauge(g) => *g = (*g).max(v),
+        other => debug_assert!(false, "{name} is a {}", other.kind()),
+    }
+}
+
+/// Record `v` into histogram `name`.
+#[inline]
+pub fn histogram_record(name: &'static str, v: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    match registry()
+        .entry(name)
+        .or_insert_with(|| Metric::Histogram(Box::default()))
+    {
+        Metric::Histogram(h) => h.record(v),
+        other => debug_assert!(false, "{name} is a {}", other.kind()),
+    }
+}
+
+/// Clear every metric (called by `Session::begin`).
+pub fn reset() {
+    registry().clear();
+}
+
+/// Sorted copy of the current registry contents.
+pub fn snapshot() -> Snapshot {
+    registry()
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect()
+}
+
+/// Look up one metric in a snapshot.
+pub fn get<'a>(snap: &'a Snapshot, name: &str) -> Option<&'a Metric> {
+    snap.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_stays_empty() {
+        assert!(!crate::enabled());
+        counter_add("x", 1);
+        gauge_max("y", 2);
+        histogram_record("z", 3);
+        let s = crate::Session::begin();
+        assert!(s.finish().metrics.is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_histograms() {
+        let s = crate::Session::begin();
+        counter_add("dma.bytes", 100);
+        counter_add("dma.bytes", 28);
+        gauge_max("ldm.high_water", 10);
+        gauge_max("ldm.high_water", 4);
+        gauge_set("last", 1);
+        gauge_set("last", 7);
+        for v in [0u64, 1, 2, 3, 4, 1000] {
+            histogram_record("sizes", v);
+        }
+        let snap = s.finish().metrics;
+        assert_eq!(get(&snap, "dma.bytes").unwrap().value(), 128);
+        assert_eq!(get(&snap, "ldm.high_water").unwrap().value(), 10);
+        assert_eq!(get(&snap, "last").unwrap().value(), 7);
+        let Metric::Histogram(h) = get(&snap, "sizes").unwrap() else {
+            panic!("not a histogram");
+        };
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1010);
+        assert_eq!(h.buckets[0], 1); // the zero
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2, 3
+        assert_eq!(h.buckets[3], 1); // 4
+        assert_eq!(h.buckets[Histogram::bucket_of(1000)], 1);
+    }
+
+    #[test]
+    fn bucket_ranges_partition_the_axis() {
+        for v in [0u64, 1, 2, 7, 8, 255, 1 << 20, u64::MAX] {
+            let b = Histogram::bucket_of(v);
+            let (lo, hi) = Histogram::bucket_range(b);
+            assert!(v >= lo && (v < hi || hi == u64::MAX), "v={v} bucket={b}");
+        }
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let s = crate::Session::begin();
+        counter_add("b", 1);
+        counter_add("a", 1);
+        counter_add("c", 1);
+        let snap = s.finish().metrics;
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

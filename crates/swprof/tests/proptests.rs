@@ -1,0 +1,167 @@
+//! Property-based tests over random span trees: whatever interleaving
+//! of opens, closes, and clock ticks a workload produces — across any
+//! mix of MPE and CPE tracks — the profile must close cleanly and the
+//! Chrome-trace export must be valid JSON whose B/E events are strictly
+//! nested with monotone timestamps on every track.
+
+use proptest::prelude::*;
+
+/// One random operation against the profiler.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Open a span on track `t` with label index `l`.
+    Open { t: usize, l: usize },
+    /// Close the innermost open span on track `t` (no-op when empty).
+    Close { t: usize },
+    /// Advance track `t`'s virtual clock.
+    Tick { t: usize, cycles: u64 },
+}
+
+const LABELS: [&str; 5] = ["force", "neighbor", "pme", "reduce", "io"];
+/// Track pool: MPE plus three CPEs.
+const TRACKS: [Option<usize>; 4] = [None, Some(0), Some(1), Some(63)];
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (
+        0usize..3,
+        0usize..TRACKS.len(),
+        0usize..LABELS.len(),
+        1u64..5_000,
+    )
+        .prop_map(|(kind, t, l, cycles)| match kind {
+            0 => Op::Open { t, l },
+            1 => Op::Close { t },
+            _ => Op::Tick { t, cycles },
+        })
+}
+
+proptest! {
+    /// Replay a random op sequence, then check every structural
+    /// guarantee the exporters rely on.
+    #[test]
+    fn random_span_trees_export_valid_nested_traces(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+    ) {
+        let session = swprof::Session::begin();
+        // Per-track stacks of live guards; closes pop LIFO so nesting
+        // holds by construction — the property checks the *export*
+        // preserves it.
+        let mut stacks: Vec<Vec<swprof::Span>> = TRACKS.iter().map(|_| Vec::new()).collect();
+        let mut opened = 0usize;
+        for op in &ops {
+            match *op {
+                Op::Open { t, l } => {
+                    stacks[t].push(swprof::span_on(TRACKS[t], LABELS[l]));
+                    opened += 1;
+                }
+                Op::Close { t } => {
+                    drop(stacks[t].pop());
+                }
+                Op::Tick { t, cycles } => {
+                    let prev = swprof::current_track();
+                    swprof::set_track(TRACKS[t]);
+                    swprof::tick(cycles);
+                    swprof::set_track(prev);
+                }
+            }
+        }
+        for stack in &mut stacks {
+            while let Some(span) = stack.pop() {
+                drop(span);
+            }
+        }
+        let profile = session.finish();
+
+        // Every open produced a closed span.
+        let spans = profile.closed_spans().expect("balanced stream");
+        prop_assert_eq!(spans.len(), opened);
+        for s in &spans {
+            prop_assert!(s.end >= s.start);
+        }
+
+        // The Chrome trace parses, and B/E pairs are strictly nested
+        // with monotone timestamps per track.
+        let doc = swprof::export::chrome_trace(&profile, 0.8);
+        let v = swprof::json::parse(&doc).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let mut depth = std::collections::BTreeMap::new();
+        let mut last_ts = std::collections::BTreeMap::new();
+        let mut begins = 0usize;
+        for e in events {
+            let ph = e.get("ph").unwrap().as_str().unwrap();
+            if ph == "M" {
+                continue;
+            }
+            let tid = e.get("tid").unwrap().as_num().unwrap() as i64;
+            let ts = e.get("ts").unwrap().as_num().unwrap();
+            let d = depth.entry(tid).or_insert(0i64);
+            match ph {
+                "B" => {
+                    *d += 1;
+                    begins += 1;
+                }
+                "E" => {
+                    *d -= 1;
+                    prop_assert!(*d >= 0, "unmatched E on tid {}", tid);
+                }
+                other => prop_assert!(false, "unexpected phase {}", other),
+            }
+            let prev = last_ts.entry(tid).or_insert(f64::NEG_INFINITY);
+            prop_assert!(ts >= *prev, "timestamps regress on tid {}", tid);
+            *prev = ts;
+        }
+        prop_assert_eq!(begins, opened);
+        for (tid, d) in depth {
+            prop_assert_eq!(d, 0, "tid {} ends with open spans", tid);
+        }
+
+        // The other exporters accept the same profile.
+        for line in swprof::export::metrics_jsonl(&profile.metrics).lines() {
+            swprof::json::parse(line).expect("valid JSONL line");
+        }
+        let _ = swprof::export::report(&profile, 0.8);
+    }
+
+    /// Span totals are conserved: for any single-track tree, the sum of
+    /// top-level span durations never exceeds the track clock, and every
+    /// label total equals the sum of its spans' cycles.
+    #[test]
+    fn span_totals_are_consistent_with_the_track_clock(
+        ops in prop::collection::vec(op_strategy(), 1..80),
+    ) {
+        let session = swprof::Session::begin();
+        let mut stack: Vec<swprof::Span> = Vec::new();
+        for op in &ops {
+            // Project everything onto the MPE track: depth-only tree.
+            match *op {
+                Op::Open { l, .. } => stack.push(swprof::span_on(None, LABELS[l])),
+                Op::Close { .. } => drop(stack.pop()),
+                Op::Tick { cycles, .. } => {
+                    swprof::set_track(None);
+                    swprof::tick(cycles);
+                }
+            }
+        }
+        while let Some(span) = stack.pop() {
+            drop(span);
+        }
+        let clock = swprof::track_cursor(None);
+        let profile = session.finish();
+        let spans = profile.closed_spans().expect("balanced stream");
+        let top_level: u64 = spans
+            .iter()
+            .filter(|s| s.depth == 0 && s.track.is_none())
+            .map(|s| s.cycles())
+            .sum();
+        prop_assert!(top_level <= clock, "{} > {}", top_level, clock);
+        let totals = profile.span_totals_on(None);
+        for (label, total) in &totals {
+            let by_hand: u64 = spans
+                .iter()
+                .filter(|s| s.track.is_none() && s.label == *label)
+                .map(|s| s.cycles())
+                .sum();
+            prop_assert_eq!(*total, by_hand, "label {}", label);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! `swprof` — profile any engine version and export the session.
+//!
+//! Runs a water-box MD workload under a [`swprof::Session`], then emits
+//! the three export formats:
+//!
+//! - `trace.json` — Chrome `trace_event` JSON with one track for the MPE
+//!   and one per CPE (load in `chrome://tracing` or ui.perfetto.dev)
+//! - `metrics.jsonl` — one JSON object per registry metric
+//! - stdout + `report.txt` — the Table-1-style stage table
+//!
+//! ```text
+//! swprof [--version ori|cal|list|other] [--particles N] [--steps N]
+//!        [--ranks N] [--seed S] [--out DIR]
+//! ```
+//!
+//! Before writing anything the run self-validates: the exported trace
+//! must parse as JSON with balanced, strictly nested B/E pairs on every
+//! track, and the per-stage cycle totals on the MPE timeline must agree
+//! with the engine's `Breakdown` (Table 1) within 1%. Disagreement is a
+//! profiler bug and exits nonzero.
+
+use std::path::Path;
+
+use sw_gromacs::mdsim::water::water_box_equilibrated;
+use sw_gromacs::swgmx::engine::{Engine, EngineConfig, MultiCgModel, Version};
+
+struct Args {
+    particles: usize,
+    steps: usize,
+    version: Version,
+    ranks: usize,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        particles: 3_000,
+        steps: 5,
+        version: Version::Other,
+        ranks: 1,
+        seed: 2026,
+        out: "swprof_out".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--particles" => args.particles = value().parse().unwrap_or_else(|_| die("bad N")),
+            "--steps" => args.steps = value().parse().unwrap_or_else(|_| die("bad N")),
+            "--ranks" => args.ranks = value().parse().unwrap_or_else(|_| die("bad N")),
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| die("bad seed")),
+            "--out" => args.out = value(),
+            "--version" => {
+                args.version = match value().as_str() {
+                    "ori" => Version::Ori,
+                    "cal" => Version::Cal,
+                    "list" => Version::List,
+                    "other" => Version::Other,
+                    v => die(&format!("unknown version {v}")),
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "swprof [--version ori|cal|list|other] [--particles N] \
+                     [--steps N] [--ranks N] [--seed S] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("swprof: {msg} (try --help)");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    let ns_per_cycle = sw_gromacs::sw26010::params::cycles_to_ns(1);
+
+    println!(
+        "profiling {} particles, {} steps, version {}, {} rank(s)",
+        args.particles,
+        args.steps,
+        args.version.name(),
+        args.ranks
+    );
+
+    let session = swprof::Session::begin();
+    let breakdown = if args.ranks > 1 {
+        let model = MultiCgModel::new(args.particles, args.ranks, args.version);
+        let out = model.run(args.steps, args.seed);
+        out.breakdown
+    } else {
+        let sys = water_box_equilibrated((args.particles / 3).max(1), 300.0, args.seed);
+        let mut engine = Engine::new(sys, EngineConfig::paper(args.version));
+        for _ in 0..args.steps {
+            engine.step();
+        }
+        engine.breakdown.clone()
+    };
+    let profile = session.finish();
+
+    // ---- self-validation: structure ----
+    let spans = profile
+        .closed_spans()
+        .unwrap_or_else(|e| die(&format!("unbalanced span stream: {e}")));
+    println!(
+        "captured {} spans over {} tracks, {} metrics",
+        spans.len(),
+        profile.tracks().len(),
+        profile.metrics.len()
+    );
+    let trace = swprof::export::chrome_trace(&profile, ns_per_cycle);
+    let parsed = swprof::json::parse(&trace)
+        .unwrap_or_else(|e| die(&format!("exported trace is not valid JSON: {e}")));
+    let n_events = parsed
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .map(|a| a.len())
+        .unwrap_or_else(|| die("trace has no traceEvents array"));
+
+    // ---- self-validation: agreement with the Breakdown (single-rank
+    // profiles only; MultiCgModel rescales its engine rows after the
+    // fact, so the raw spans are not expected to match them) ----
+    if args.ranks == 1 {
+        let totals = profile.span_totals_on(None);
+        let mut worst = 0.0f64;
+        for (label, perf) in breakdown.iter() {
+            let booked = perf.cycles;
+            let spanned = totals.get(label).copied().unwrap_or(0);
+            if booked == 0 {
+                continue;
+            }
+            let rel = (booked as f64 - spanned as f64).abs() / booked as f64;
+            worst = worst.max(rel);
+            if rel > 0.01 {
+                die(&format!(
+                    "stage `{label}`: breakdown books {booked} cycles but \
+                     spans total {spanned} ({:.2}% off)",
+                    100.0 * rel
+                ));
+            }
+        }
+        println!(
+            "span totals agree with the Table 1 breakdown \
+             (worst stage off by {:.4}%)",
+            100.0 * worst
+        );
+    }
+
+    // ---- exports ----
+    let dir = Path::new(&args.out);
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("{}: {e}", args.out)));
+    let write = |name: &str, body: &str| {
+        let path = dir.join(name);
+        std::fs::write(&path, body).unwrap_or_else(|e| die(&format!("{}: {e}", path.display())));
+        println!("wrote {} ({} bytes)", path.display(), body.len());
+    };
+    write("trace.json", &trace);
+    write(
+        "metrics.jsonl",
+        &swprof::export::metrics_jsonl(&profile.metrics),
+    );
+    let report = swprof::export::report(&profile, ns_per_cycle);
+    write("report.txt", &report);
+    println!("\n{report}");
+    println!("{n_events} trace events exported; open trace.json in ui.perfetto.dev");
+}
