@@ -152,6 +152,9 @@ pub struct Engine {
     /// Last short-range energies.
     pub energies: NbEnergies,
     traj_sink: fastio::BufferedWriter<std::io::Sink>,
+    kernel_faults: u64,
+    consecutive_kernel_faults: u32,
+    degraded: bool,
 }
 
 impl Engine {
@@ -200,6 +203,9 @@ impl Engine {
             breakdown: Breakdown::new(),
             energies: NbEnergies::default(),
             traj_sink: fastio::BufferedWriter::with_capacity(std::io::sink(), 1 << 20),
+            kernel_faults: 0,
+            consecutive_kernel_faults: 0,
+            degraded: false,
         }
     }
 
@@ -220,6 +226,17 @@ impl Engine {
     pub fn resume_at(&mut self, step: usize) {
         self.step_idx = step;
         self.list = None; // force a rebuild from the restored positions
+    }
+
+    /// Whether repeated kernel faults have permanently degraded this
+    /// engine to the `Ori` force kernel (graceful degradation).
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Total injected kernel faults absorbed so far.
+    pub fn kernel_faults(&self) -> u64 {
+        self.kernel_faults
     }
 
     fn rebuild_list(&mut self) {
@@ -281,7 +298,52 @@ impl Engine {
         // the per-CPE kernel spans nest under it; the mesh part below is
         // ticked into the same span, mirroring the Breakdown rollup.
         let force_span = swprof::span("Force");
-        let result: KernelResult = match self.config.version {
+        // Graceful kernel degradation: an injected CPE exception aborts
+        // the optimized kernel's attempt, charges the wasted region to
+        // the Force row, and falls back to the always-safe Ori kernel
+        // for this step. Three consecutive faults degrade the engine to
+        // Ori permanently (the operational "stop trusting this kernel"
+        // policy). Note a degraded step changes FP summation order, so
+        // kernel faults are the one site excluded from the bit-exact
+        // recovery contract.
+        let mut effective = self.config.version;
+        if effective != Version::Ori && !self.degraded && swfault::enabled() {
+            if let Some(payload) = swfault::decide(swfault::Site::KernelFault) {
+                sw26010::trace::emit_abort("kernel-fault");
+                self.kernel_faults += 1;
+                let penalty = sw26010::params::STRAGGLER_TIMEOUT_CYCLES
+                    + swfault::retry::backoff_cycles(
+                        self.consecutive_kernel_faults,
+                        sw26010::params::SPAWN_JOIN_CYCLES,
+                        payload,
+                    );
+                self.consecutive_kernel_faults += 1;
+                swprof::tick(penalty);
+                self.breakdown.add(
+                    "Force",
+                    PerfCounters {
+                        cycles: penalty,
+                        ..Default::default()
+                    },
+                );
+                if swprof::enabled() {
+                    swprof::metrics::counter_add("fault.kernel_faults", 1);
+                }
+                if self.consecutive_kernel_faults >= 3 {
+                    self.degraded = true;
+                    if swprof::enabled() {
+                        swprof::metrics::counter_add("fault.degradations", 1);
+                    }
+                }
+                effective = Version::Ori;
+            } else {
+                self.consecutive_kernel_faults = 0;
+            }
+        }
+        if self.degraded {
+            effective = Version::Ori;
+        }
+        let result: KernelResult = match effective {
             Version::Ori => run_ori(&psys, &cpelist, &self.config.params, &self.cg),
             _ => run_rma(
                 &psys,

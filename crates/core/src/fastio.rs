@@ -31,6 +31,9 @@ pub struct BufferedWriter<W: Write> {
     cap: usize,
     /// Number of flushes issued (for tests and cost models).
     pub flushes: u64,
+    /// Flush attempts that hit an injected I/O fault and were retried
+    /// (zero unless a fault plan is active).
+    pub io_retries: u64,
 }
 
 impl<W: Write> BufferedWriter<W> {
@@ -47,6 +50,7 @@ impl<W: Write> BufferedWriter<W> {
             buf: BytesMut::with_capacity(cap.min(1 << 20)),
             cap,
             flushes: 0,
+            io_retries: 0,
         }
     }
 
@@ -71,9 +75,26 @@ impl<W: Write> BufferedWriter<W> {
         Ok(())
     }
 
-    /// Flush the buffer to the underlying writer.
+    /// Flush the buffer to the underlying writer. Injected I/O faults
+    /// (an active `swfault` plan) are absorbed here with bounded retry:
+    /// the buffered data survives a failed attempt, so a retried flush
+    /// writes byte-identical output.
     pub fn flush(&mut self) -> io::Result<()> {
         if !self.buf.is_empty() {
+            let mut attempt = 0u32;
+            while swfault::should(swfault::Site::IoError) {
+                self.io_retries += 1;
+                if swprof::enabled() {
+                    swprof::metrics::counter_add("fault.retries.io", 1);
+                }
+                attempt += 1;
+                if attempt >= swfault::retry::MAX_ATTEMPTS {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        "injected trajectory write fault (retries exhausted)",
+                    ));
+                }
+            }
             self.inner.write_all(&self.buf)?;
             self.buf.clear();
             self.flushes += 1;

@@ -35,6 +35,8 @@
 //!   (Fig. 12)
 //! - [`fastio`] — buffered trajectory output with the custom float
 //!   formatter (§3.7)
+//! - [`recovery`] — checkpoint/rollback driver for running the engine
+//!   under a `swfault` fault plan
 //! - [`platforms`] — the Table 4 / Eq. 3-4 TTF cross-platform model
 //!   (Fig. 11)
 //! - [`check`] — traced kernel runs + per-variant invariant contracts
@@ -51,6 +53,7 @@ pub mod package;
 pub mod pairgen;
 pub mod platforms;
 pub mod portable;
+pub mod recovery;
 
 pub use check::{run_traced, KernelContract, TracedRun, Variant};
 pub use cpelist::CpePairList;

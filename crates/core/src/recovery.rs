@@ -1,0 +1,170 @@
+//! Fault-tolerant engine driver: step-level checkpoint/rollback for the
+//! full simulated MD step.
+//!
+//! [`FaultTolerantRunner`] wraps an [`Engine`] and drives it the way a
+//! production campaign would run on real hardware: periodic checkpoints
+//! serialized through the (fault-injectable) checkpoint codec, with
+//! rollback-and-replay when a step is detected as corrupt
+//! ([`Site::StepAbort`](swfault::Site::StepAbort)).
+//!
+//! Recovery here is **bit-exact** for every site except kernel faults:
+//! checkpoints land on `nstlist` boundaries so the pair-list rebuild
+//! schedule replays identically after [`Engine::resume_at`], each step
+//! is a pure function of `(positions, velocities, step index)`, and all
+//! substrate-level faults perturb only simulated cycles. Kernel-fault
+//! degradation (the `Ori` fallback) changes FP summation order and is
+//! therefore the one site a differential test must leave disabled.
+
+use std::io;
+
+use mdsim::checkpoint::Checkpoint;
+
+use crate::engine::Engine;
+
+/// Outcome of a fault-tolerant engine run.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Step executions performed, including replays after rollback.
+    pub step_executions: u64,
+    /// Rollbacks to the last checkpoint.
+    pub rollbacks: u64,
+    /// Checkpoint serialize/deserialize attempts retried after an
+    /// injected I/O fault.
+    pub checkpoint_io_retries: u64,
+    /// Checkpoints successfully serialized.
+    pub checkpoints_written: u64,
+    /// Whether the engine ended the run degraded to the `Ori` kernel.
+    pub degraded: bool,
+    /// Kernel faults absorbed by the engine during the run.
+    pub kernel_faults: u64,
+}
+
+/// Drives an [`Engine`] under a fault plan with checkpoint/rollback.
+pub struct FaultTolerantRunner {
+    engine: Engine,
+    cp_every: usize,
+    cp_bytes: Vec<u8>,
+    high_water: usize,
+    report: RecoveryReport,
+}
+
+impl FaultTolerantRunner {
+    /// Wrap `engine`, checkpointing every `cp_every` steps. `cp_every`
+    /// must be a positive multiple of the engine's `nstlist` so a
+    /// restored run rebuilds its pair list at the same step index the
+    /// original did (the [`Engine::resume_at`] contract).
+    pub fn new(engine: Engine, cp_every: usize) -> io::Result<Self> {
+        let nstlist = engine.config().nstlist;
+        assert!(
+            cp_every > 0 && cp_every.is_multiple_of(nstlist),
+            "cp_every ({cp_every}) must be a positive multiple of nstlist ({nstlist})"
+        );
+        let mut report = RecoveryReport::default();
+        let cp_bytes = Self::serialize(
+            &Checkpoint::capture(&engine.sys, engine.step_index() as u64),
+            &mut report,
+        )?;
+        let high_water = engine.step_index();
+        Ok(Self {
+            engine,
+            cp_every,
+            cp_bytes,
+            high_water,
+            report,
+        })
+    }
+
+    /// The wrapped engine (read access for energies/breakdown).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Serialize with bounded retry against injected I/O faults; a
+    /// retried write starts over with a fresh buffer, so the bytes are
+    /// identical to a first-try success.
+    fn serialize(cp: &Checkpoint, report: &mut RecoveryReport) -> io::Result<Vec<u8>> {
+        let mut attempt = 0u32;
+        loop {
+            let mut buf = Vec::new();
+            match cp.write_to(&mut buf) {
+                Ok(()) => {
+                    report.checkpoints_written += 1;
+                    return Ok(buf);
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::Interrupted
+                        && attempt < swfault::retry::MAX_ATTEMPTS =>
+                {
+                    report.checkpoint_io_retries += 1;
+                    if swprof::enabled() {
+                        swprof::metrics::counter_add("fault.retries.checkpoint", 1);
+                    }
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn deserialize(bytes: &[u8], report: &mut RecoveryReport) -> io::Result<Checkpoint> {
+        let mut attempt = 0u32;
+        loop {
+            match Checkpoint::read_from(&mut &bytes[..]) {
+                Ok(cp) => return Ok(cp),
+                Err(e)
+                    if e.kind() == io::ErrorKind::Interrupted
+                        && attempt < swfault::retry::MAX_ATTEMPTS =>
+                {
+                    report.checkpoint_io_retries += 1;
+                    if swprof::enabled() {
+                        swprof::metrics::counter_add("fault.retries.checkpoint", 1);
+                    }
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Run until the engine's step index reaches `until_step`. Steps at
+    /// or below the previous high-water mark (replays after rollback)
+    /// are shielded from further abort decisions, guaranteeing forward
+    /// progress and deterministic termination.
+    pub fn run_until(&mut self, until_step: usize) -> io::Result<&RecoveryReport> {
+        while self.engine.step_index() < until_step {
+            let step = self.engine.step_index();
+            // Checkpoint at each boundary the first time it is reached;
+            // during a replay (step < high_water) the stored checkpoint
+            // already holds this exact state.
+            if step > 0 && step.is_multiple_of(self.cp_every) && step >= self.high_water {
+                self.cp_bytes = Self::serialize(
+                    &Checkpoint::capture(&self.engine.sys, step as u64),
+                    &mut self.report,
+                )?;
+            }
+            self.engine.step();
+            self.report.step_executions += 1;
+            let now = self.engine.step_index();
+            if now > self.high_water {
+                self.high_water = now;
+                if swfault::should(swfault::Site::StepAbort) {
+                    self.report.rollbacks += 1;
+                    if swprof::enabled() {
+                        swprof::metrics::counter_add("fault.rollbacks", 1);
+                    }
+                    let cp = Self::deserialize(&self.cp_bytes, &mut self.report)?;
+                    cp.restore(&mut self.engine.sys)?;
+                    self.engine.resume_at(cp.step as usize);
+                }
+            }
+        }
+        self.report.degraded = self.engine.degraded();
+        self.report.kernel_faults = self.engine.kernel_faults();
+        Ok(&self.report)
+    }
+
+    /// Consume the runner, returning the engine and the final report.
+    pub fn into_parts(self) -> (Engine, RecoveryReport) {
+        (self.engine, self.report)
+    }
+}

@@ -79,8 +79,16 @@ impl Checkpoint {
         Ok(())
     }
 
-    /// Serialize to a writer.
+    /// Serialize to a writer. Under an active fault plan the write can
+    /// fail with [`io::ErrorKind::Interrupted`] *before touching the
+    /// writer*; recovery drivers retry with a fresh buffer.
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        if swfault::should(swfault::Site::IoError) {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected checkpoint write fault",
+            ));
+        }
         w.write_all(MAGIC)?;
         w.write_all(&self.step.to_le_bytes())?;
         w.write_all(&self.fingerprint.to_le_bytes())?;
@@ -99,8 +107,16 @@ impl Checkpoint {
         Ok(())
     }
 
-    /// Deserialize from a reader.
+    /// Deserialize from a reader. Under an active fault plan the read
+    /// can fail with [`io::ErrorKind::Interrupted`] before consuming
+    /// any bytes; recovery drivers retry from the start of the buffer.
     pub fn read_from<R: Read>(r: &mut R) -> io::Result<Self> {
+        if swfault::should(swfault::Site::IoError) {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected checkpoint read fault",
+            ));
+        }
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {

@@ -10,7 +10,9 @@
 //! paper's USTC-pipeline discussion (§2.2/§4.3) hinges on.
 
 use crate::ldm::Ldm;
-use crate::params::{CPES_PER_CG, CPE_MESH_DIM, REG_COMM_CYCLES, SPAWN_JOIN_CYCLES};
+use crate::params::{
+    CPES_PER_CG, CPE_MESH_DIM, REG_COMM_CYCLES, SPAWN_JOIN_CYCLES, STRAGGLER_TIMEOUT_CYCLES,
+};
 use crate::perf::PerfCounters;
 
 /// Execution context of one CPE kernel instance.
@@ -142,7 +144,36 @@ impl CoreGroup {
                     for (off, slot) in slice.iter_mut().enumerate() {
                         let id = base + off;
                         crate::trace::set_current_cpe(Some(id));
+                        let faults = swfault::enabled();
                         let mut ctx = CpeCtx::new(id);
+                        if faults {
+                            swfault::set_lane(Some(id));
+                            // Straggler recovery: a hung instance is
+                            // decided *before* the kernel body runs, so
+                            // the aborted attempt has zero side effects
+                            // (SWC105 holds trivially) and the respawned
+                            // closure replays bit-identically. Each
+                            // respawn charges the MPE's straggler
+                            // timeout plus backoff to this CPE's
+                            // timeline — only simulated time moves.
+                            let mut attempt = 0u32;
+                            while attempt < 4 {
+                                let Some(payload) = swfault::decide(swfault::Site::CpeHang) else {
+                                    break;
+                                };
+                                ctx.perf.cycles += STRAGGLER_TIMEOUT_CYCLES
+                                    + swfault::retry::backoff_cycles(
+                                        attempt,
+                                        SPAWN_JOIN_CYCLES,
+                                        payload,
+                                    );
+                                crate::trace::emit_abort("cpe-hang");
+                                if profiling {
+                                    swprof::metrics::counter_add("fault.respawns", 1);
+                                }
+                                attempt += 1;
+                            }
+                        }
                         let r = if profiling {
                             swprof::set_track(Some(id));
                             swprof::align_track(Some(id), prof_base);
@@ -160,6 +191,13 @@ impl CoreGroup {
                         } else {
                             kernel(&mut ctx)
                         };
+                        if faults {
+                            // Fold injected LDM-contention stalls into
+                            // this instance's timeline (zero without a
+                            // plan installed).
+                            ctx.perf.cycles += ctx.ldm.stall_cycles();
+                            swfault::set_lane(None);
+                        }
                         crate::trace::set_current_cpe(None);
                         *slot = Some((r, ctx.perf));
                     }

@@ -53,6 +53,9 @@ impl DmaEngine {
     /// Issue a transfer and account it into `perf`.
     pub fn transfer(perf: &mut PerfCounters, dir: Dir, size: usize, aligned: bool) {
         let cycles = Self::transfer_cycles_aligned(size, aligned);
+        if swfault::enabled() {
+            Self::inject_faults(perf, cycles);
+        }
         perf.cycles += cycles;
         perf.dma_cycles += cycles;
         perf.dma_transactions += 1;
@@ -127,6 +130,45 @@ impl DmaEngine {
         }
     }
 
+    /// Bounded-retry fault recovery for one transfer of `full_cycles`
+    /// streaming cost. Every injected failure only *adds simulated
+    /// cycles* (the wasted attempt plus deterministic backoff) — data is
+    /// re-issued, never lost — so a faulted run converges to the exact
+    /// same FP state as a fault-free one. After
+    /// [`swfault::retry::MAX_ATTEMPTS`] consecutive failures the engine
+    /// proceeds anyway (the hardware DMA eventually completes) and
+    /// records the exhaustion.
+    fn inject_faults(perf: &mut PerfCounters, full_cycles: u64) {
+        use crate::params::DMA_LATENCY_CYCLES;
+        use swfault::{retry, Site};
+        let mut attempt = 0u32;
+        while attempt < retry::MAX_ATTEMPTS {
+            let waste = if let Some(payload) = swfault::decide(Site::DmaFail) {
+                // Outright failure detected at completion: the whole
+                // streaming time is wasted, then we back off and retry.
+                full_cycles + retry::backoff_cycles(attempt, DMA_LATENCY_CYCLES, payload)
+            } else if let Some(payload) = swfault::decide(Site::DmaPartial) {
+                // Partial transfer: a payload-derived fraction of the
+                // bytes moved before the stall; the re-issue restarts
+                // from scratch, so that fraction is the wasted work.
+                let frac = swfault::unit(payload);
+                (full_cycles as f64 * frac) as u64
+                    + retry::backoff_cycles(attempt, DMA_LATENCY_CYCLES, payload)
+            } else {
+                return;
+            };
+            perf.cycles += waste;
+            perf.dma_cycles += waste;
+            if swprof::enabled() {
+                swprof::metrics::counter_add("fault.retries.dma", 1);
+            }
+            attempt += 1;
+        }
+        if swprof::enabled() {
+            swprof::metrics::counter_add("fault.retries.exhausted", 1);
+        }
+    }
+
     /// Roofline composition shared by `transfer_shared{,_at}`.
     fn shared_cost(perf: &mut PerfCounters, size: usize, aligned: bool) {
         use crate::params::{DMA_LATENCY_CYCLES, SINGLE_CPE_DMA_GBS};
@@ -135,6 +177,9 @@ impl DmaEngine {
             gbs /= MISALIGN_PENALTY;
         }
         let cycles = DMA_LATENCY_CYCLES + params::ns_to_cycles(size as f64 / gbs);
+        if swfault::enabled() {
+            Self::inject_faults(perf, cycles);
+        }
         perf.cycles += cycles;
         perf.dma_cycles += cycles;
         perf.dma_transactions += 1;

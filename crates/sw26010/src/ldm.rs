@@ -41,6 +41,7 @@ pub struct Ldm {
     capacity: usize,
     in_use: usize,
     reservations: Vec<(&'static str, usize)>,
+    stall_cycles: u64,
 }
 
 impl Default for Ldm {
@@ -62,11 +63,33 @@ impl Ldm {
             capacity,
             in_use: 0,
             reservations: Vec::new(),
+            stall_cycles: 0,
         }
     }
 
     /// Reserve `bytes` of LDM under `label`. Fails if capacity is exceeded.
     pub fn reserve(&mut self, label: &'static str, bytes: usize) -> Result<(), LdmOverflow> {
+        if swfault::enabled() {
+            // Transient allocator contention: the reservation eventually
+            // succeeds (capacity is a static property of the kernel, not
+            // of the fault), but each injected failure stalls the CPE by
+            // a deterministic backoff. Only simulated time is perturbed.
+            let mut attempt = 0u32;
+            while attempt < swfault::retry::MAX_ATTEMPTS {
+                let Some(payload) = swfault::decide(swfault::Site::LdmFail) else {
+                    break;
+                };
+                self.stall_cycles += swfault::retry::backoff_cycles(
+                    attempt,
+                    crate::params::LDM_RETRY_BASE_CYCLES,
+                    payload,
+                );
+                if swprof::enabled() {
+                    swprof::metrics::counter_add("fault.retries.ldm", 1);
+                }
+                attempt += 1;
+            }
+        }
         if self.in_use + bytes > self.capacity {
             if swprof::enabled() {
                 swprof::metrics::counter_add("ldm.overflows", 1);
@@ -111,6 +134,13 @@ impl Ldm {
     /// The labelled reservations made so far, in order.
     pub fn reservations(&self) -> &[(&'static str, usize)] {
         &self.reservations
+    }
+
+    /// Cycles this instance stalled on injected reservation contention
+    /// (zero unless a fault plan is active). `CoreGroup::spawn` folds
+    /// this into the instance's cycle counter after the kernel returns.
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
     }
 }
 

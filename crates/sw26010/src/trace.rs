@@ -143,6 +143,19 @@ pub enum Event {
         /// Wall cycles of the phase.
         cycles: u64,
     },
+    /// An execution attempt on the issuing core was aborted and will be
+    /// retried/respawned (fault recovery: CPE hang, kernel fault). The
+    /// SWC105 rule asserts the aborted attempt left no visible state:
+    /// no dirty write-cache lines and no marked-but-unreduced Bit-Map
+    /// lines from the same `(epoch, cpe)` earlier in the stream.
+    Abort {
+        /// Aborted CPE, or `None` for an MPE-level abort.
+        cpe: Option<usize>,
+        /// Spawn epoch current at abort time.
+        epoch: u64,
+        /// Diagnostic reason (`"cpe-hang"`, `"kernel-fault"`, ...).
+        reason: &'static str,
+    },
 }
 
 /// Region binding of a software cache: where its backing array sits in
@@ -316,6 +329,19 @@ pub fn emit_wc_drop_dirty(cache: u64, lines: Vec<usize>) {
         epoch: current_epoch(),
         cache,
         lines,
+    });
+}
+
+/// Record an aborted execution attempt on the calling core (called by
+/// the fault-recovery paths before a retry/respawn).
+pub fn emit_abort(reason: &'static str) {
+    if !enabled() {
+        return;
+    }
+    push(Event::Abort {
+        cpe: current_cpe(),
+        epoch: current_epoch(),
+        reason,
     });
 }
 

@@ -1,5 +1,5 @@
 //! Dynamic pass: epoch-scoped shadow memory + coherence checks
-//! (SWC101–SWC104).
+//! (SWC101–SWC105).
 //!
 //! A `CoreGroup::spawn` region is the unit of concurrency on the SW26010:
 //! inside one spawn epoch all 64 CPEs run unsynchronized, and the join is
@@ -15,6 +15,13 @@
 //! holding dirty lines has silently lost forces (SWC102), and the
 //! Bit-Map contract (Alg. 3/4) requires the reduction's consumed-line
 //! set to equal the marked-line set exactly (SWC103/SWC104).
+//!
+//! Fault recovery adds a fourth invariant: an aborted execution attempt
+//! ([`Event::Abort`], emitted by the `swfault` respawn/retry paths) is
+//! replayed from scratch, so the dead attempt must not have left any
+//! visible state behind — no dirty write-cache lines and no
+//! marked-but-unreduced Bit-Map lines from the same `(epoch, cpe)`
+//! (SWC105).
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -29,6 +36,7 @@ pub fn detect(contract: &KernelContract, events: &[Event]) -> Vec<Violation> {
     races(contract, events, &mut out);
     dropped_dirty(contract, events, &mut out);
     mark_coherence(contract, events, &mut out);
+    aborted_regions(contract, events, &mut out);
     out
 }
 
@@ -174,6 +182,79 @@ fn mark_coherence(contract: &KernelContract, events: &[Event], out: &mut Vec<Vio
     }
 }
 
+/// SWC105: an aborted execution attempt must leave no visible state.
+///
+/// The `swfault` recovery paths (CPE respawn after a hang, kernel-fault
+/// fallback) replay the aborted work from scratch, so anything the dead
+/// attempt already made visible would be double-counted or corrupted on
+/// replay. For each [`Event::Abort`] this audits the events *earlier in
+/// the stream* from the same `(epoch, cpe)`: a write cache dropped with
+/// dirty lines, or a Bit-Map mark whose `(cache, line)` the reduction
+/// never consumes anywhere in the run, means the abort was not clean.
+fn aborted_regions(contract: &KernelContract, events: &[Event], out: &mut Vec<Violation>) {
+    let reduced: BTreeSet<(u64, usize)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::ReduceLine { cache, line, .. } => Some((*cache, *line)),
+            _ => None,
+        })
+        .collect();
+
+    for (i, e) in events.iter().enumerate() {
+        let Event::Abort { cpe, epoch, reason } = e else {
+            continue;
+        };
+        let mut dirty = 0usize;
+        let mut unreduced = 0usize;
+        let mut first: Option<String> = None;
+        for prior in &events[..i] {
+            match prior {
+                Event::WcDropDirty {
+                    cpe: c,
+                    epoch: ep,
+                    cache,
+                    lines,
+                } if c == cpe && ep == epoch => {
+                    dirty += lines.len();
+                    first.get_or_insert_with(|| {
+                        format!("cache #{cache} dropped {} dirty line(s)", lines.len())
+                    });
+                }
+                Event::MarkSet {
+                    cpe: c,
+                    epoch: ep,
+                    cache,
+                    line,
+                } if c == cpe && ep == epoch && !reduced.contains(&(*cache, *line)) => {
+                    unreduced += 1;
+                    first.get_or_insert_with(|| {
+                        format!("cache #{cache} line {line} marked, never reduced")
+                    });
+                }
+                _ => {}
+            }
+        }
+        if let Some(detail) = first {
+            let core = match cpe {
+                Some(c) => format!("CPE {c}"),
+                None => "MPE".to_string(),
+            };
+            out.push(Violation::new(
+                "SWC105",
+                contract.name,
+                Severity::Error,
+                format!(
+                    "aborted attempt (reason `{reason}`, epoch {epoch}, {core}) \
+                     left visible state behind: {dirty} dirty write-cache \
+                     line(s), {unreduced} marked-but-unreduced Bit-Map line(s) \
+                     (first: {detail}); the replay will double-count or lose \
+                     those contributions"
+                ),
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,5 +361,69 @@ mod tests {
         let v = detect(&c, &[reduce(1, 0)]);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].id, "SWC103");
+    }
+
+    fn abort(cpe: usize, epoch: u64) -> Event {
+        Event::Abort {
+            cpe: Some(cpe),
+            epoch,
+            reason: "cpe-hang",
+        }
+    }
+
+    #[test]
+    fn abort_with_no_prior_state_is_clean() {
+        // The common case: a CPE hang is decided before the kernel body
+        // runs, so the abort has nothing before it in its (epoch, cpe).
+        assert!(detect(&strict(), &[abort(7, 1)]).is_empty());
+    }
+
+    #[test]
+    fn abort_after_unreduced_mark_is_swc105() {
+        // mark() uses cpe 0, epoch 1 — the abort shares both.
+        let ev = [mark(1, 0), abort(0, 1)];
+        let v = detect(&strict(), &ev);
+        assert!(v.iter().any(|v| v.id == "SWC105"), "got {v:?}");
+    }
+
+    #[test]
+    fn abort_after_dropped_dirty_cache_is_swc105() {
+        let ev = [
+            Event::WcDropDirty {
+                cpe: Some(3),
+                epoch: 2,
+                cache: 9,
+                lines: vec![4],
+            },
+            abort(3, 2),
+        ];
+        let v = detect(&strict(), &ev);
+        assert!(v.iter().any(|v| v.id == "SWC105"), "got {v:?}");
+    }
+
+    #[test]
+    fn abort_after_reduced_marks_is_clean() {
+        // The reduction consuming the mark (even later in the stream)
+        // means the aborted attempt's state was properly drained.
+        let ev = [mark(1, 0), reduce(1, 0), abort(0, 1)];
+        assert!(detect(&strict(), &ev).is_empty());
+    }
+
+    #[test]
+    fn abort_scopes_to_its_own_epoch_and_cpe() {
+        // The unreduced mark is (cpe 0, epoch 1); neither abort matches
+        // it, so SWC103 fires but SWC105 does not.
+        let ev = [mark(1, 0), abort(5, 1), abort(0, 2)];
+        let v = detect(&strict(), &ev);
+        assert!(v.iter().any(|v| v.id == "SWC103"));
+        assert!(!v.iter().any(|v| v.id == "SWC105"), "got {v:?}");
+    }
+
+    #[test]
+    fn state_created_after_the_abort_is_not_the_aborts_fault() {
+        // The respawned attempt marks and reduces after the abort event;
+        // only events *earlier* in the stream are audited.
+        let ev = [abort(0, 1), mark(1, 0), reduce(1, 0)];
+        assert!(detect(&strict(), &ev).is_empty());
     }
 }

@@ -1,4 +1,4 @@
-//! Seeded-violation fixtures: five event streams, each produced by
+//! Seeded-violation fixtures: six event streams, each produced by
 //! driving the *real* substrate primitives into a known invariant
 //! violation, so `swcheck --fixtures` verifies the whole detection
 //! chain — instrumentation hooks, event plumbing, and both passes —
@@ -28,7 +28,7 @@ pub struct Fixture {
     pub events: Vec<Event>,
 }
 
-/// Build all five fixtures. Each capture takes the global session lock,
+/// Build all six fixtures. Each capture takes the global session lock,
 /// so this must not be called while another session is live on the same
 /// thread (it would self-deadlock by design — sessions don't nest).
 pub fn all() -> Vec<Fixture> {
@@ -38,6 +38,7 @@ pub fn all() -> Vec<Fixture> {
         bitmap_reduction_mismatch(),
         misaligned_dma(),
         ldm_over_budget(),
+        unclean_abort(),
     ]
 }
 
@@ -134,6 +135,34 @@ fn ldm_over_budget() -> Fixture {
     }
 }
 
+/// A CPE attempt marks a Bit-Map line and is then aborted (the fault
+/// recovery path respawns it) without the line ever being reduced — the
+/// replay would re-accumulate into a line the reduction no longer knows
+/// about.
+fn unclean_abort() -> Fixture {
+    let session = trace::Session::begin();
+    let geo = CacheGeometry::paper_default(12);
+    let mut copy = vec![0.0f32; 64 * 12];
+    let mut perf = PerfCounters::new();
+    let epoch = trace::begin_region(1);
+    trace::set_current_cpe(Some(3));
+    {
+        let mut wc = WriteCache::with_marks(geo, 64);
+        // Marks a line; the attempt dies right after, so the cache is
+        // dropped dirty and the mark is never reduced.
+        wc.update(&mut perf, &mut copy, 5, &[1.0; 12]);
+    }
+    trace::emit_abort("cpe-hang");
+    trace::set_current_cpe(None);
+    trace::end_region(epoch);
+    Fixture {
+        name: "unclean abort",
+        expected: "SWC105",
+        contract: KernelContract::strict("fixture:abort"),
+        events: session.finish(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,10 +190,10 @@ mod tests {
     #[test]
     fn fixture_streams_are_nonempty_and_distinctly_seeded() {
         let fixtures = all();
-        assert_eq!(fixtures.len(), 5);
+        assert_eq!(fixtures.len(), 6);
         let mut expected: Vec<_> = fixtures.iter().map(|f| f.expected).collect();
         expected.dedup();
-        assert_eq!(expected.len(), 5, "each fixture seeds a distinct invariant");
+        assert_eq!(expected.len(), 6, "each fixture seeds a distinct invariant");
         for f in &fixtures {
             assert!(
                 !f.events.is_empty(),

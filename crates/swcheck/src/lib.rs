@@ -19,7 +19,9 @@
 //! - **[`dynamic`]** — an epoch-scoped shadow of shared memory detecting
 //!   conflicting unsynchronized cross-CPE writes, write caches dropped
 //!   with unflushed dirty lines, and Bit-Map marks that disagree with
-//!   the reduction's consumed-line set (Alg. 3/4 coherence).
+//!   the reduction's consumed-line set (Alg. 3/4 coherence), plus the
+//!   fault-recovery contract: an aborted attempt (`swfault` respawn)
+//!   must leave no dirty or marked-but-unreduced state behind.
 //!
 //! Each finding is a [`Violation`] carrying a stable invariant id:
 //!
@@ -34,10 +36,11 @@
 //! | SWC102 | dynamic | write cache dropped with dirty lines           |
 //! | SWC103 | dynamic | marked line never consumed by the reduction    |
 //! | SWC104 | dynamic | reduction consumed an unmarked line            |
+//! | SWC105 | dynamic | aborted attempt left dirty/marked state behind |
 //!
 //! The `swcheck` binary runs every kernel variant of the ladder under
 //! both passes and exits nonzero on violations; `swcheck --fixtures`
-//! replays five seeded-violation [`fixtures`] and verifies each one is
+//! replays six seeded-violation [`fixtures`] and verifies each one is
 //! caught — the checker checking itself.
 
 pub mod dynamic;

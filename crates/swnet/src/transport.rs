@@ -42,21 +42,64 @@ pub fn message_ns(
     }
     let lat = params.latency_ns(dist);
     let stream = bytes as f64 / params.bandwidth_gbs;
-    match transport {
-        Transport::Mpi => {
-            // Eager protocol copies every byte `mpi_copies` times (§3.6:
-            // "the data has to be copied four times"); the rendezvous
-            // protocol adds a request/ack handshake (two extra wire
-            // latencies) but pipelines a single bounce-buffer copy with
-            // the wire. Real stacks use whichever is cheaper, which also
-            // keeps the cost monotone in message size.
-            let eager =
-                lat + params.mpi_copies as f64 * bytes as f64 / params.mem_bandwidth_gbs + stream;
-            let rendezvous = 3.0 * lat + (bytes as f64 / params.mem_bandwidth_gbs).max(stream);
-            params.mpi_sw_overhead_ns + eager.min(rendezvous)
+    let fault_ns = if swfault::enabled() {
+        inject_faults(lat, stream)
+    } else {
+        0.0
+    };
+    fault_ns
+        + match transport {
+            Transport::Mpi => {
+                // Eager protocol copies every byte `mpi_copies` times (§3.6:
+                // "the data has to be copied four times"); the rendezvous
+                // protocol adds a request/ack handshake (two extra wire
+                // latencies) but pipelines a single bounce-buffer copy with
+                // the wire. Real stacks use whichever is cheaper, which also
+                // keeps the cost monotone in message size.
+                let eager = lat
+                    + params.mpi_copies as f64 * bytes as f64 / params.mem_bandwidth_gbs
+                    + stream;
+                let rendezvous = 3.0 * lat + (bytes as f64 / params.mem_bandwidth_gbs).max(stream);
+                params.mpi_sw_overhead_ns + eager.min(rendezvous)
+            }
+            Transport::Rdma => params.rdma_sw_overhead_ns + lat + stream,
         }
-        Transport::Rdma => params.rdma_sw_overhead_ns + lat + stream,
+}
+
+/// Deterministic fault overhead (ns) for one message. Dropped messages
+/// burn the full attempt and wait out a retransmit timeout; corrupted
+/// messages burn the attempt plus a NACK round trip; congestion delay
+/// adds payload-scaled jitter. All of it is simulated time only — the
+/// message always arrives intact eventually, so a faulted run perturbs
+/// the cost model, never the simulation state.
+fn inject_faults(lat: f64, stream: f64) -> f64 {
+    use swfault::{retry, Site};
+    let mut ns = 0.0;
+    let mut attempt = 0u32;
+    while attempt < retry::MAX_ATTEMPTS {
+        if let Some(payload) = swfault::decide(Site::NetDrop) {
+            // Timeout-detected drop: retransmit after exponential
+            // backoff seeded at a few wire latencies.
+            ns += lat + stream + retry::backoff_ns(attempt, 4.0 * lat, payload);
+        } else if let Some(payload) = swfault::decide(Site::NetCorrupt) {
+            // CRC failure at the receiver: NACK round trip, resend.
+            ns += lat + stream + 2.0 * lat + retry::backoff_ns(attempt, lat, payload);
+        } else {
+            break;
+        }
+        if swprof::enabled() {
+            swprof::metrics::counter_add("fault.retries.net", 1);
+        }
+        attempt += 1;
     }
+    if attempt >= retry::MAX_ATTEMPTS && swprof::enabled() {
+        swprof::metrics::counter_add("fault.retries.exhausted", 1);
+    }
+    if let Some(payload) = swfault::decide(Site::NetDelay) {
+        // Congestion jitter proportional to the message's own wire time.
+        ns += swfault::unit(payload) * (lat + stream);
+    }
+    ns
 }
 
 /// Speedup of RDMA over MPI for a given message size/distance.

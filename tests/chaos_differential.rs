@@ -1,0 +1,127 @@
+//! Differential recovery: for every engine version, a run under an
+//! aggressive (but kernel-fault-free) fault plan must converge to the
+//! *bit-identical* final state of a fault-free run. Faults perturb only
+//! simulated time — DMA retries, CPE respawns, LDM stalls, checkpoint
+//! I/O retries — and step aborts roll back to a checkpoint whose replay
+//! is exact, so physics must be unchanged down to the last mantissa bit.
+//!
+//! Kernel faults stay disabled here by design: the `Ori` fallback
+//! changes floating-point summation order, which is graceful
+//! degradation, not silent corruption — the soak test covers it.
+//!
+//! Separate test binary with a single test: fault scopes are
+//! process-global.
+
+use sw_gromacs::mdsim::nonbonded::NbEnergies;
+use sw_gromacs::mdsim::water::water_box_equilibrated;
+use sw_gromacs::mdsim::System;
+use sw_gromacs::swgmx::engine::{Engine, EngineConfig, Version};
+use sw_gromacs::swgmx::recovery::{FaultTolerantRunner, RecoveryReport};
+use swfault::{FaultPlan, Site};
+
+const STEPS: usize = 60;
+
+fn chaos_seed() -> u64 {
+    std::env::var("SWFAULT_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xFAB)
+}
+
+fn run(version: Version, plan: Option<FaultPlan>) -> (System, NbEnergies, RecoveryReport, u64) {
+    let scope = plan.map(swfault::install);
+    let sys = water_box_equilibrated(96, 300.0, 7);
+    let engine = Engine::new(sys, EngineConfig::paper(version));
+    let cp_every = 2 * engine.config().nstlist;
+    let mut runner = FaultTolerantRunner::new(engine, cp_every).expect("initial checkpoint");
+    runner.run_until(STEPS).expect("run survives the plan");
+    let aborts = scope.map_or(0, |s| s.finish().count(Site::StepAbort));
+    let (engine, report) = runner.into_parts();
+    (engine.sys, engine.energies, report, aborts)
+}
+
+#[test]
+fn faulted_runs_converge_bit_identically_for_every_version() {
+    let seed = chaos_seed();
+    // Every site except KernelFault, at rates well above moderate so
+    // each version's run sees real recovery work.
+    let plan = FaultPlan {
+        kernel_fault: 0.0,
+        step_abort: 0.08,
+        io_error: 0.10,
+        ..FaultPlan::moderate(seed)
+    };
+
+    for version in Version::ALL {
+        let (clean_sys, clean_e, clean_report, _) = run(version, None);
+        assert_eq!(clean_report.rollbacks, 0);
+        assert_eq!(clean_report.step_executions as usize, STEPS);
+
+        let (faulty_sys, faulty_e, faulty_report, aborts) = run(version, Some(plan.clone()));
+        assert_eq!(
+            faulty_report.rollbacks,
+            aborts,
+            "{}: every injected abort rolls back exactly once",
+            version.name()
+        );
+        assert!(
+            !faulty_report.degraded,
+            "{}: kernel faults are disabled in this plan",
+            version.name()
+        );
+        if aborts > 0 {
+            assert!(
+                faulty_report.step_executions as usize > STEPS,
+                "{}: rollbacks force replayed steps",
+                version.name()
+            );
+        }
+
+        for (i, (a, b)) in clean_sys.pos.iter().zip(&faulty_sys.pos).enumerate() {
+            assert_eq!(
+                a.x.to_bits(),
+                b.x.to_bits(),
+                "{}: pos[{i}].x",
+                version.name()
+            );
+            assert_eq!(
+                a.y.to_bits(),
+                b.y.to_bits(),
+                "{}: pos[{i}].y",
+                version.name()
+            );
+            assert_eq!(
+                a.z.to_bits(),
+                b.z.to_bits(),
+                "{}: pos[{i}].z",
+                version.name()
+            );
+        }
+        for (i, (a, b)) in clean_sys.vel.iter().zip(&faulty_sys.vel).enumerate() {
+            assert_eq!(
+                a.x.to_bits(),
+                b.x.to_bits(),
+                "{}: vel[{i}].x",
+                version.name()
+            );
+            assert_eq!(
+                a.y.to_bits(),
+                b.y.to_bits(),
+                "{}: vel[{i}].y",
+                version.name()
+            );
+            assert_eq!(
+                a.z.to_bits(),
+                b.z.to_bits(),
+                "{}: vel[{i}].z",
+                version.name()
+            );
+        }
+        assert_eq!(
+            clean_e.total().to_bits(),
+            faulty_e.total().to_bits(),
+            "{}: final energies must match bit-for-bit",
+            version.name()
+        );
+    }
+}
