@@ -16,8 +16,10 @@
 //! therefore the one site a differential test must leave disabled.
 
 use std::io;
+use std::path::Path;
 
 use mdsim::checkpoint::Checkpoint;
+use swstore::{Store, StoreOptions};
 
 use crate::engine::Engine;
 
@@ -37,6 +39,14 @@ pub struct RecoveryReport {
     pub degraded: bool,
     /// Kernel faults absorbed by the engine during the run.
     pub kernel_faults: u64,
+    /// Checkpoint generations persisted to the durable store (durable
+    /// mode only; 0 for the in-memory runner).
+    pub generations_persisted: u64,
+    /// fsync retries burned committing to the store.
+    pub store_fsync_retries: u64,
+    /// Step the runner resumed from when the store held a valid
+    /// generation at construction.
+    pub resumed_from: Option<u64>,
 }
 
 /// Drives an [`Engine`] under a fault plan with checkpoint/rollback.
@@ -46,6 +56,8 @@ pub struct FaultTolerantRunner {
     cp_bytes: Vec<u8>,
     high_water: usize,
     report: RecoveryReport,
+    store: Option<Store>,
+    last_persisted: Option<u64>,
 }
 
 impl FaultTolerantRunner {
@@ -71,7 +83,64 @@ impl FaultTolerantRunner {
             cp_bytes,
             high_water,
             report,
+            store: None,
+            last_persisted: None,
         })
+    }
+
+    /// Like [`FaultTolerantRunner::new`], but every checkpoint is also
+    /// committed to a crash-consistent [`Store`] at `dir` as a
+    /// single-frame generation (epoch = step index). If the store
+    /// already holds a valid generation — this process was restarted —
+    /// the engine resumes from the newest one instead of its current
+    /// state, so a campaign survives process death, not just step
+    /// aborts. Torn or corrupted generations on disk are skipped by the
+    /// store's fallback walk.
+    pub fn new_durable(mut engine: Engine, cp_every: usize, dir: &Path) -> io::Result<Self> {
+        let (mut store, _open) = Store::open(dir, StoreOptions::default())?;
+        let mut report = RecoveryReport::default();
+        let mut last_persisted = None;
+        if let Some(generation) = store.load_newest_valid()? {
+            let frame = generation
+                .frames
+                .first()
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty generation"))?;
+            let cp = Self::deserialize(frame, &mut report)?;
+            cp.restore(&mut engine.sys)?;
+            engine.resume_at(cp.step as usize);
+            report.resumed_from = Some(cp.step);
+            last_persisted = Some(cp.step);
+            if swprof::enabled() {
+                swprof::metrics::counter_add("rank.resumes", 1);
+            }
+        }
+        let mut runner = Self::new(engine, cp_every)?;
+        runner.report.checkpoint_io_retries += report.checkpoint_io_retries;
+        runner.report.resumed_from = report.resumed_from;
+        runner.store = Some(store);
+        runner.last_persisted = last_persisted;
+        // Persist the starting state: a crash before the first boundary
+        // must still find a generation to restart from.
+        if runner.last_persisted.is_none() {
+            runner.persist(runner.engine.step_index() as u64)?;
+        }
+        Ok(runner)
+    }
+
+    /// Commit the current in-memory checkpoint bytes as generation
+    /// `epoch` (no-op without a store or if `epoch` is already on disk).
+    fn persist(&mut self, epoch: u64) -> io::Result<()> {
+        let Some(store) = self.store.as_mut() else {
+            return Ok(());
+        };
+        if self.last_persisted == Some(epoch) {
+            return Ok(());
+        }
+        let frames = [self.cp_bytes.clone()];
+        self.report.store_fsync_retries += store.commit_with_retry(epoch, &frames)? as u64;
+        self.report.generations_persisted += 1;
+        self.last_persisted = Some(epoch);
+        Ok(())
     }
 
     /// The wrapped engine (read access for energies/breakdown).
@@ -141,6 +210,7 @@ impl FaultTolerantRunner {
                     &Checkpoint::capture(&self.engine.sys, step as u64),
                     &mut self.report,
                 )?;
+                self.persist(step as u64)?;
             }
             self.engine.step();
             self.report.step_executions += 1;
@@ -166,5 +236,52 @@ impl FaultTolerantRunner {
     /// Consume the runner, returning the engine and the final report.
     pub fn into_parts(self) -> (Engine, RecoveryReport) {
         (self.engine, self.report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig, Version};
+    use mdsim::water::water_box_equilibrated;
+
+    fn engine() -> Engine {
+        Engine::new(
+            water_box_equilibrated(48, 300.0, 11),
+            EngineConfig::paper(Version::Other),
+        )
+    }
+
+    #[test]
+    fn durable_restart_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("swgmx-dur-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cp_every = 10;
+
+        // Reference: one uninterrupted run to 40.
+        let mut reference = FaultTolerantRunner::new(engine(), cp_every).unwrap();
+        reference.run_until(40).unwrap();
+
+        // Interrupted campaign: run to 25, then "crash" (drop the
+        // runner), then restart a *fresh* engine from the store.
+        let mut first = FaultTolerantRunner::new_durable(engine(), cp_every, &dir).unwrap();
+        first.run_until(25).unwrap();
+        let (_, first_report) = first.into_parts();
+        assert_eq!(first_report.resumed_from, None);
+        assert!(first_report.generations_persisted >= 3); // 0, 10, 20
+
+        let mut second = FaultTolerantRunner::new_durable(engine(), cp_every, &dir).unwrap();
+        second.run_until(40).unwrap();
+        let (engine_b, report_b) = second.into_parts();
+        assert_eq!(report_b.resumed_from, Some(20), "newest boundary before 25");
+        assert_eq!(report_b.step_executions, 20);
+
+        let (engine_a, _) = reference.into_parts();
+        for (x, y) in engine_a.sys.pos.iter().zip(&engine_b.sys.pos) {
+            assert_eq!(x.x.to_bits(), y.x.to_bits(), "restart diverged");
+            assert_eq!(x.y.to_bits(), y.y.to_bits());
+            assert_eq!(x.z.to_bits(), y.z.to_bits());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -42,6 +42,7 @@ pub mod cluster;
 pub mod constraints;
 pub mod ddrun;
 pub mod domain;
+pub mod durable;
 pub mod ewald;
 pub mod fft;
 pub mod grid;

@@ -37,6 +37,8 @@
 //! | SWC103 | dynamic | marked line never consumed by the reduction    |
 //! | SWC104 | dynamic | reduction consumed an unmarked line            |
 //! | SWC105 | dynamic | aborted attempt left dirty/marked state behind |
+//! | SWC106 | dynamic | orphaned / double-owned domain cells after recovery |
+//! | SWC107 | dynamic | gap or off-cadence epoch in the durable generation chain |
 //!
 //! The `swcheck` binary runs every kernel variant of the ladder under
 //! both passes and exits nonzero on violations; `swcheck --fixtures`
@@ -46,6 +48,7 @@
 pub mod dynamic;
 pub mod fixtures;
 pub mod lint;
+pub mod recovery;
 
 use sw26010::trace::Event;
 use swgmx::check::KernelContract;

@@ -1,0 +1,148 @@
+//! Dynamic rules over a finished durable run: the recovery plane's
+//! invariants, checked from plain data so `swcheck` needs no dependency
+//! on the store or the MD substrate.
+//!
+//! A durable run (`mdsim::durable::run_dd_md_durable`) reports two
+//! artifacts this pass audits:
+//!
+//! - the per-particle owner counts under the **final** decomposition —
+//!   after any number of elastic shrinks, every particle must be owned
+//!   by exactly one surviving rank (SWC106: an orphaned cell would
+//!   silently freeze its particles; a double-owned cell would
+//!   double-count their forces);
+//! - the retained **generation chain** — epochs must ascend on the
+//!   snapshot cadence with no gaps (SWC107: a gap means a generation
+//!   was lost or skipped, so a crash in the window would replay more
+//!   than one epoch interval, violating the recovery-time bound).
+
+use crate::{Severity, Violation};
+
+/// Plain-data snapshot of a durable run's recovery state, as carried by
+/// `DurableRunReport` (fields copied, no type dependency).
+#[derive(Debug, Clone)]
+pub struct RecoveryAudit<'a> {
+    /// Label for the run (appears as the `kernel` of findings).
+    pub run: &'a str,
+    /// Per-particle owner counts under the final decomposition.
+    pub coverage: &'a [u32],
+    /// Epochs retained on disk, oldest first.
+    pub chain: &'a [u64],
+    /// Snapshot cadence the chain must follow.
+    pub epoch_interval: u64,
+}
+
+/// Audit one durable run. Empty vec = clean.
+pub fn audit(a: &RecoveryAudit) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    // SWC106: every particle owned exactly once.
+    let orphaned = a.coverage.iter().filter(|&&c| c == 0).count();
+    let double = a.coverage.iter().filter(|&&c| c > 1).count();
+    if orphaned + double > 0 {
+        out.push(Violation::new(
+            "SWC106",
+            a.run,
+            Severity::Error,
+            format!(
+                "final decomposition leaves {orphaned} particle(s) orphaned and \
+                 {double} double-owned (of {})",
+                a.coverage.len()
+            ),
+        ));
+    }
+
+    // SWC107: retained chain ascends on the cadence with no gaps.
+    if a.epoch_interval == 0 {
+        out.push(Violation::new(
+            "SWC107",
+            a.run,
+            Severity::Error,
+            "epoch interval of 0: chain cadence is unauditable".into(),
+        ));
+    } else {
+        let mut bad: Vec<String> = Vec::new();
+        for e in a.chain {
+            if !e.is_multiple_of(a.epoch_interval) {
+                bad.push(format!(
+                    "epoch {e} off the {}-step cadence",
+                    a.epoch_interval
+                ));
+            }
+        }
+        for w in a.chain.windows(2) {
+            if w[1] <= w[0] {
+                bad.push(format!("chain not ascending at {} -> {}", w[0], w[1]));
+            } else if w[1] - w[0] != a.epoch_interval {
+                bad.push(format!(
+                    "gap between retained epochs {} and {} (want spacing {})",
+                    w[0], w[1], a.epoch_interval
+                ));
+            }
+        }
+        if !bad.is_empty() {
+            out.push(Violation::new(
+                "SWC107",
+                a.run,
+                Severity::Error,
+                bad.join("; "),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base<'a>(coverage: &'a [u32], chain: &'a [u64]) -> RecoveryAudit<'a> {
+        RecoveryAudit {
+            run: "test-run",
+            coverage,
+            chain,
+            epoch_interval: 4,
+        }
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let coverage = [1u32; 30];
+        let chain = [8u64, 12, 16, 20];
+        assert!(audit(&base(&coverage, &chain)).is_empty());
+        // Empty chain (nothing committed yet) is not a gap.
+        assert!(audit(&base(&coverage, &[])).is_empty());
+    }
+
+    #[test]
+    fn orphaned_and_double_owned_cells_are_swc106() {
+        let mut coverage = [1u32; 10];
+        coverage[3] = 0;
+        coverage[7] = 2;
+        let v = audit(&base(&coverage, &[0, 4]));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].id, "SWC106");
+        assert_eq!(v[0].severity, Severity::Error);
+        assert!(v[0].message.contains("1 particle(s) orphaned"));
+        assert!(v[0].message.contains("1 double-owned"));
+    }
+
+    #[test]
+    fn chain_gaps_and_off_cadence_epochs_are_swc107() {
+        let coverage = [1u32; 10];
+        // Missing epoch 8 between 4 and 12.
+        let v = audit(&base(&coverage, &[4, 12]));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].id, "SWC107");
+        assert!(v[0]
+            .message
+            .contains("gap between retained epochs 4 and 12"));
+        // Epoch off the cadence.
+        let v = audit(&base(&coverage, &[4, 7]));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("off the 4-step cadence"));
+        // Non-ascending chain.
+        let v = audit(&base(&coverage, &[8, 8]));
+        assert_eq!(v[0].id, "SWC107");
+        assert!(v[0].message.contains("not ascending"));
+    }
+}

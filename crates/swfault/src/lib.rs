@@ -74,10 +74,23 @@ pub enum Site {
     /// A completed MD step is detected as corrupt and must be rolled
     /// back to the last checkpoint.
     StepAbort,
+    /// A durable-store generation write is torn: only a prefix of the
+    /// bytes reaches disk before a simulated crash, yet the rename is
+    /// observed (power loss between data and metadata ordering).
+    StoreTornWrite,
+    /// A bit flips in a durable-store generation between write and read
+    /// (media corruption, detected by the frame CRC).
+    StoreBitFlip,
+    /// An fsync on a durable-store file fails; the write cannot be
+    /// declared durable and must be retried or abandoned.
+    StoreFsyncFail,
+    /// A DD rank dies permanently mid-run (node loss). Detected by the
+    /// survivors via halo-exchange timeout; triggers elastic shrink.
+    RankKill,
 }
 
 /// Number of distinct [`Site`]s.
-pub const N_SITES: usize = 10;
+pub const N_SITES: usize = 14;
 
 impl Site {
     /// Every site, in declaration order.
@@ -92,6 +105,10 @@ impl Site {
         Site::IoError,
         Site::KernelFault,
         Site::StepAbort,
+        Site::StoreTornWrite,
+        Site::StoreBitFlip,
+        Site::StoreFsyncFail,
+        Site::RankKill,
     ];
 
     /// Stable diagnostic name.
@@ -107,6 +124,10 @@ impl Site {
             Site::IoError => "io_error",
             Site::KernelFault => "kernel_fault",
             Site::StepAbort => "step_abort",
+            Site::StoreTornWrite => "store_torn_write",
+            Site::StoreBitFlip => "store_bit_flip",
+            Site::StoreFsyncFail => "store_fsync_fail",
+            Site::RankKill => "rank_kill",
         }
     }
 
@@ -123,6 +144,10 @@ impl Site {
             Site::IoError => "fault.injected.io_error",
             Site::KernelFault => "fault.injected.kernel_fault",
             Site::StepAbort => "fault.injected.step_abort",
+            Site::StoreTornWrite => "fault.injected.store_torn_write",
+            Site::StoreBitFlip => "fault.injected.store_bit_flip",
+            Site::StoreFsyncFail => "fault.injected.store_fsync_fail",
+            Site::RankKill => "fault.injected.rank_kill",
         }
     }
 }
@@ -172,6 +197,15 @@ pub struct FaultPlan {
     pub kernel_fault: f64,
     /// Probability a completed step is rolled back to the checkpoint.
     pub step_abort: f64,
+    /// Probability a durable-store generation write is torn on disk.
+    pub store_torn_write: f64,
+    /// Probability a durable-store read sees a flipped bit.
+    pub store_bit_flip: f64,
+    /// Probability a durable-store fsync fails.
+    pub store_fsync_fail: f64,
+    /// Probability a DD rank dies permanently (queried once per rank
+    /// per step, lane = the rank index).
+    pub rank_kill: f64,
     /// Scripted one-shot events, checked in addition to the rates.
     pub scripted: Vec<OneShot>,
 }
@@ -190,6 +224,10 @@ impl Default for FaultPlan {
             io_error: 0.0,
             kernel_fault: 0.0,
             step_abort: 0.0,
+            store_torn_write: 0.0,
+            store_bit_flip: 0.0,
+            store_fsync_fail: 0.0,
+            rank_kill: 0.0,
             scripted: Vec::new(),
         }
     }
@@ -206,8 +244,9 @@ impl FaultPlan {
 
     /// The chaos-soak defaults: every *recoverable* site at a moderate
     /// rate. Kernel faults (which degrade the engine to the `Ori`
-    /// kernel) stay off so recovery remains bit-exact; enable them
-    /// explicitly to exercise graceful degradation.
+    /// kernel) stay off so recovery remains bit-exact, and rank kills
+    /// stay off because a shrunken decomposition legitimately changes
+    /// FP summation order; enable both explicitly.
     pub fn moderate(seed: u64) -> Self {
         Self {
             seed,
@@ -221,7 +260,11 @@ impl FaultPlan {
             io_error: 0.05,
             kernel_fault: 0.0,
             step_abort: 0.03,
-            scripted: Vec::new(),
+            store_torn_write: 0.02,
+            store_bit_flip: 0.02,
+            store_fsync_fail: 0.05,
+            rank_kill: 0.0,
+            ..Self::default()
         }
     }
 
@@ -238,6 +281,10 @@ impl FaultPlan {
             Site::IoError => self.io_error,
             Site::KernelFault => self.kernel_fault,
             Site::StepAbort => self.step_abort,
+            Site::StoreTornWrite => self.store_torn_write,
+            Site::StoreBitFlip => self.store_bit_flip,
+            Site::StoreFsyncFail => self.store_fsync_fail,
+            Site::RankKill => self.rank_kill,
         }
     }
 

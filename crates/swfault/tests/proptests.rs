@@ -27,6 +27,10 @@ fn arb_plan() -> impl Strategy<Value = FaultPlan> {
             io_error: rates[7],
             kernel_fault: rates[8],
             step_abort: rates[9],
+            store_torn_write: rates[10],
+            store_bit_flip: rates[11],
+            store_fsync_fail: rates[12],
+            rank_kill: rates[13],
             scripted: Vec::new(),
         })
 }

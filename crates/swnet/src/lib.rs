@@ -25,13 +25,17 @@
 //! ```
 
 pub mod collectives;
+pub mod liveness;
 pub mod params;
 pub mod pme_comm;
+pub mod seqno;
 pub mod transport;
 
 pub use collectives::{allreduce_ns, alltoall_ns, gather_ns, halo_exchange_ns};
+pub use liveness::{epoch_barrier, halo_timeout_ns, BarrierOutcome};
 pub use params::{NetParams, RankDistance};
 pub use pme_comm::pme_fft_comm_ns;
+pub use seqno::{Delivery, SeqChannel, TransmitReport};
 pub use transport::{message_ns, Transport};
 
 /// Rank topology: maps MPI ranks (one per CG) onto chips and supernodes.

@@ -36,6 +36,10 @@ pub struct NetParams {
     pub mpi_sw_overhead_ns: f64,
     /// Per-message overhead of RDMA (doorbell + completion), ns.
     pub rdma_sw_overhead_ns: f64,
+    /// How long a rank waits on a silent peer (halo exchange, epoch
+    /// barrier) before declaring it dead, ns. Long enough that
+    /// congestion jitter and retransmit backoff never trip it.
+    pub liveness_timeout_ns: f64,
 }
 
 impl NetParams {
@@ -53,6 +57,10 @@ impl NetParams {
             mpi_copies: 4,
             mpi_sw_overhead_ns: 12_000.0,
             rdma_sw_overhead_ns: 200.0,
+            // ~100x the worst cross-tree latency: far above any
+            // retransmit backoff the fault plane can produce, so a
+            // timeout means a dead rank, not a slow one.
+            liveness_timeout_ns: 200_000.0,
         }
     }
 

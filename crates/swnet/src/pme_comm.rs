@@ -105,7 +105,9 @@ mod tests {
         // A 64^3 mesh: compute per rank falls fast, the all-to-all grows;
         // the crossover should appear well before 4096 ranks.
         let p = NetParams::taihulight();
-        let crossover = comm_bound_crossover(&p, Transport::Rdma, 64, 5_000_000.0, 4096).unwrap();
+        let crossover = comm_bound_crossover(&p, Transport::Rdma, 64, 5_000_000.0, 4096).expect(
+            "no comm-bound crossover for 64^3 grid, 5e6 ns compute, RDMA, up to 4096 ranks",
+        );
         assert!(crossover <= 4096, "crossover at {crossover}");
     }
 }
