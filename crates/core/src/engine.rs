@@ -120,6 +120,7 @@ impl EngineConfig {
 /// active.
 fn charge(breakdown: &mut Breakdown, label: &'static str, perf: PerfCounters) {
     swprof::stage(label, perf.cycles);
+    swtel::flight::record("stage", label, perf.cycles, 0);
     breakdown.add(label, perf);
 }
 
@@ -255,6 +256,7 @@ impl Engine {
             );
             swprof::tick(gen.perf.cycles);
             drop(span);
+            swtel::flight::record("stage", "Neighbor search", gen.perf.cycles, 0);
             self.breakdown.add("Neighbor search", gen.perf);
             self.list = Some(gen.list);
         } else {
@@ -329,8 +331,20 @@ impl Engine {
                 if swprof::enabled() {
                     swprof::metrics::counter_add("fault.kernel_faults", 1);
                 }
+                swtel::flight::record(
+                    "abort",
+                    "kernel_fault",
+                    penalty,
+                    self.consecutive_kernel_faults as u64,
+                );
                 if self.consecutive_kernel_faults >= 3 {
                     self.degraded = true;
+                    swtel::flight::record(
+                        "abort",
+                        "kernel_degraded",
+                        self.kernel_faults,
+                        self.consecutive_kernel_faults as u64,
+                    );
                     if swprof::enabled() {
                         swprof::metrics::counter_add("fault.degradations", 1);
                     }
@@ -354,6 +368,7 @@ impl Engine {
             ),
         };
         swprof::tick(result.total.cycles);
+        swtel::flight::record("stage", "Force", result.total.cycles, 0);
         self.breakdown.add("Force", result.total);
         self.energies = result.energies;
         for (i, f) in result.forces.iter().enumerate() {
@@ -560,6 +575,7 @@ impl MultiCgModel {
 
         if self.n_ranks > 1 {
             let topo = Topology::new(self.n_ranks);
+            let ranks: Vec<usize> = (0..self.n_ranks).collect();
             let transport = if self.version == Version::Other {
                 Transport::Rdma
             } else {
@@ -572,8 +588,10 @@ impl MultiCgModel {
             // MPE and cannot overlap).
             let halo_particles = self.halo_estimate(per_rank);
             let halo_bytes = halo_particles * 12;
-            let halo_full =
-                2.0 * swnet::halo_exchange_ns(&self.net, &topo, transport, 6, halo_bytes);
+            let halo_full = 2.0
+                * swnet::traced_halo_exchange_ns(
+                    &self.net, &topo, transport, 6, halo_bytes, &ranks, "halo.x",
+                );
             let sw_per_msg = match transport {
                 Transport::Mpi => self.net.mpi_sw_overhead_ns,
                 Transport::Rdma => self.net.rdma_sw_overhead_ns,
@@ -586,8 +604,14 @@ impl MultiCgModel {
             // "Comm. energies" row; imbalance grows slowly with rank
             // count.
             let imbalance = 0.025 * (self.n_ranks as f64).log2();
-            let allreduce = swnet::allreduce_ns(&self.net, &topo, transport, 64)
-                + imbalance * force_ns_per_step;
+            let allreduce = swnet::traced_allreduce_ns(
+                &self.net,
+                &topo,
+                transport,
+                64,
+                &ranks,
+                "energies.allreduce",
+            ) + imbalance * force_ns_per_step;
             // Domain decomposition every nstlist steps: repartition by
             // neighbor exchange of about two halo volumes.
             let dd_per_rebuild =
@@ -609,7 +633,7 @@ impl MultiCgModel {
                 ns_counters(dd_per_rebuild * n_rebuilds),
             );
             if let Some(grid) = self.pme_grid {
-                let pme = swnet::pme_fft_comm_ns(&self.net, &topo, transport, grid);
+                let pme = swnet::traced_pme_fft_comm_ns(&self.net, &topo, transport, grid, &ranks);
                 charge(
                     &mut breakdown,
                     "PME comm.",

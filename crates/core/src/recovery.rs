@@ -223,6 +223,14 @@ impl FaultTolerantRunner {
                         swprof::metrics::counter_add("fault.rollbacks", 1);
                     }
                     let cp = Self::deserialize(&self.cp_bytes, &mut self.report)?;
+                    // Black-box the abort before state is rewound: the
+                    // last N flight events explain *why* this rollback
+                    // happened, and the dump lives next to the
+                    // generation chain a restart would read.
+                    swtel::flight::record("abort", "step_rollback", now as u64, cp.step);
+                    if let Some(store) = &self.store {
+                        let _ = swtel::flight::dump_to(&store.dir().join("blackbox-rollback.json"));
+                    }
                     cp.restore(&mut self.engine.sys)?;
                     self.engine.resume_at(cp.step as usize);
                 }

@@ -81,6 +81,21 @@ pub fn compute_forces_dd(
     // executed sequentially, so there is no write conflict to emulate).
     for (rank, local) in parts.iter().enumerate() {
         let _rank_span = swprof::span("dd.rank");
+        // Cross-rank tracing: bind this iteration to its rank's
+        // virtual timeline and wrap the whole force pass in a per-rank
+        // "step" span. Everything is gated on one atomic load, so the
+        // untraced path (all existing chaos/differential tests) is a
+        // handful of no-ops.
+        let tracing = swtel::enabled();
+        if tracing {
+            swtel::set_rank(Some(rank));
+        }
+        let _tel_span = if tracing {
+            swtel::span("step")
+        } else {
+            swtel::Span::disarmed()
+        };
+        let pairs_before = en.pairs_within_cutoff;
         let halo = decomposition.halo_of(rank, &all_pos, params.r_cut);
         stats.local.push(local.len());
         stats.halo.push(halo.len());
@@ -146,7 +161,44 @@ pub fn compute_forces_dd(
         if swprof::enabled() {
             swprof::metrics::counter_add("dd.forces_returned", halo_forces as u64);
         }
+        if tracing {
+            // Advance the rank's clock by a work proxy (pair
+            // interactions dominate; ~6 flops-equivalents each), then
+            // send the halo forces home as traced messages so the
+            // merged trace draws the "comm. F" arrows of the paper's
+            // Wait+comm.F stage.
+            let rank_pairs = en.pairs_within_cutoff - pairs_before;
+            swtel::tick(rank_pairs * 6 + local.len() as u64);
+            if n_ranks > 1 {
+                let np = swnet::NetParams::taihulight();
+                let topo = swnet::Topology::new(n_ranks);
+                let bytes = (halo_forces * 12).max(8);
+                let right = (rank + 1) % n_ranks;
+                let left = (rank + n_ranks - 1) % n_ranks;
+                let _ = swnet::traced_message_ns(
+                    &np,
+                    swnet::Transport::Rdma,
+                    &topo,
+                    rank,
+                    right,
+                    bytes,
+                    "halo.f",
+                );
+                if left != right {
+                    let _ = swnet::traced_message_ns(
+                        &np,
+                        swnet::Transport::Rdma,
+                        &topo,
+                        rank,
+                        left,
+                        bytes,
+                        "halo.f",
+                    );
+                }
+            }
+        }
     }
+    swtel::set_rank(None);
     (en, stats)
 }
 
@@ -263,6 +315,7 @@ pub fn run_dd_md(
                     swprof::metrics::counter_add("fault.rollbacks", 1);
                 }
                 let cp = read_checkpoint(&cp_bytes, &mut report)?;
+                swtel::flight::record("abort", "step_rollback", step, cp.step);
                 cp.restore(sys)?;
                 step = cp.step;
             }

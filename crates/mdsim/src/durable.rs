@@ -32,7 +32,10 @@
 use std::io;
 use std::path::Path;
 
-use swnet::{epoch_barrier, halo_exchange_ns, halo_timeout_ns, NetParams, SeqChannel, Transport};
+use swnet::{
+    epoch_barrier, epoch_barrier_traced, halo_exchange_ns, halo_timeout_ns, NetParams, SeqChannel,
+    Transport,
+};
 use swstore::{Store, StoreOptions};
 
 use crate::checkpoint::{assemble_shards, Checkpoint, RankShard};
@@ -163,7 +166,12 @@ pub fn run_dd_md_durable(
         if step.is_multiple_of(cfg.epoch_interval) && last_committed != Some(step) {
             let _cp_span = swprof::span("durable.commit");
             let topo = swnet::Topology::new(members.len());
-            let barrier = epoch_barrier(&cfg.net, cfg.transport, &vec![true; members.len()]);
+            let barrier = epoch_barrier_traced(
+                &cfg.net,
+                cfg.transport,
+                &vec![true; members.len()],
+                &members,
+            );
             report.comm_ns += barrier.ns;
             let decomposition = Decomposition::new(sys.pbc, members.len());
             let parts = decomposition.partition(&sys.pos);
@@ -198,6 +206,12 @@ pub fn run_dd_md_durable(
         if !dead_positions.is_empty() {
             let _rec_span = swprof::span("durable.recover");
             if dead_positions.len() == members.len() {
+                // Black box first: the post-mortem needs the tail of
+                // events even (especially) when nobody survives.
+                for &p in &dead_positions {
+                    swtel::flight::record("abort", "rank_kill", members[p] as u64, step);
+                }
+                let _ = swtel::flight::dump_to(&dir.join("blackbox-alldead.json"));
                 return Err(io::Error::other(
                     "all ranks died; nothing left to recover onto",
                 ));
@@ -214,6 +228,12 @@ pub fn run_dd_md_durable(
             let barrier = epoch_barrier(&cfg.net, cfg.transport, &seats);
             report.comm_ns += barrier.ns;
             report.rank_kills += dead_positions.len() as u64;
+            // Flight-recorder black box: who died, at which step, dumped
+            // next to the generation chain the survivors recover from.
+            for &p in &dead_positions {
+                swtel::flight::record("abort", "rank_kill", members[p] as u64, step);
+            }
+            let _ = swtel::flight::dump_to(&dir.join(format!("blackbox-rankkill-step{step}.json")));
             for &p in dead_positions.iter().rev() {
                 members.remove(p);
             }
@@ -253,10 +273,23 @@ pub fn run_dd_md_durable(
         let topo = swnet::Topology::new(members.len());
         for (pos, &m) in members.iter().enumerate() {
             swfault::set_lane(Some(m));
-            let tx = halo_channels[m].transmit();
+            // The traced transmit stamps the causal context *before*
+            // consuming any fault decision, so seeded chaos schedules
+            // replay identically with tracing on or off; delivery is
+            // deferred until the halo round-trip cost is known.
+            let peer = members[(pos + 1) % members.len()];
+            let (tx, ctx) = if peer != m {
+                halo_channels[m].transmit_traced("halo.f", m, peer)
+            } else {
+                (halo_channels[m].transmit(), None)
+            };
             report.duplicates_discarded += tx.duplicates_discarded as u64;
             let halo_bytes = stats.halo.get(pos).copied().unwrap_or(0) * 12;
-            report.comm_ns += halo_exchange_ns(&cfg.net, &topo, cfg.transport, 6, halo_bytes);
+            let halo_ns = halo_exchange_ns(&cfg.net, &topo, cfg.transport, 6, halo_bytes);
+            report.comm_ns += halo_ns;
+            if let Some(ctx) = ctx {
+                swtel::deliver(&ctx, halo_ns.max(0.0) as u64);
+            }
         }
         swfault::set_lane(None);
     }

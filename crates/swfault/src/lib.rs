@@ -432,6 +432,15 @@ fn decide_slow(site: Site) -> Option<u64> {
         swprof::metrics::counter_add("fault.injected", 1);
         swprof::metrics::counter_add(site.metric(), 1);
     }
+    // Black box: every fired decision lands in the flight recorder
+    // (always on), so a post-mortem sees the faults leading up to an
+    // abort. Lane is offset by one: 0 = MPE/none, n = CPE n-1.
+    swtel::flight::record(
+        "fault",
+        site.name(),
+        lane.map(|l| l as u64 + 1).unwrap_or(0),
+        seq,
+    );
     Some(payload)
 }
 

@@ -31,12 +31,15 @@ pub mod pme_comm;
 pub mod seqno;
 pub mod transport;
 
-pub use collectives::{allreduce_ns, alltoall_ns, gather_ns, halo_exchange_ns};
-pub use liveness::{epoch_barrier, halo_timeout_ns, BarrierOutcome};
+pub use collectives::{
+    allreduce_ns, alltoall_ns, gather_ns, halo_exchange_ns, traced_allreduce_ns,
+    traced_halo_exchange_ns,
+};
+pub use liveness::{epoch_barrier, epoch_barrier_traced, halo_timeout_ns, BarrierOutcome};
 pub use params::{NetParams, RankDistance};
-pub use pme_comm::pme_fft_comm_ns;
+pub use pme_comm::{pme_fft_comm_ns, traced_pme_fft_comm_ns};
 pub use seqno::{Delivery, SeqChannel, TransmitReport};
-pub use transport::{message_ns, Transport};
+pub use transport::{message_ns, traced_message_ns, Transport};
 
 /// Rank topology: maps MPI ranks (one per CG) onto chips and supernodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

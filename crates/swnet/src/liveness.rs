@@ -67,6 +67,38 @@ pub fn epoch_barrier(params: &NetParams, transport: Transport, live: &[bool]) ->
     BarrierOutcome { ns, confirmed_dead }
 }
 
+/// [`epoch_barrier`] plus causal-trace propagation: the agreement
+/// round appears as `"barrier"` flows from every live seat into the
+/// first live seat and back out (seat `i` maps to rank `ranks[i]`).
+/// Cost and outcome are identical to the untraced call.
+pub fn epoch_barrier_traced(
+    params: &NetParams,
+    transport: Transport,
+    live: &[bool],
+    ranks: &[usize],
+) -> BarrierOutcome {
+    let outcome = epoch_barrier(params, transport, live);
+    if swtel::enabled() {
+        let seats: Vec<usize> = live
+            .iter()
+            .zip(ranks)
+            .filter(|(&l, _)| l)
+            .map(|(_, &r)| r)
+            .collect();
+        if seats.len() > 1 {
+            let wire = (outcome.ns / 2.0).max(0.0) as u64;
+            let root = seats[0];
+            for &r in &seats[1..] {
+                crate::collectives::flow("barrier", r, root, wire);
+            }
+            for &r in &seats[1..] {
+                crate::collectives::flow("barrier", root, r, wire);
+            }
+        }
+    }
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

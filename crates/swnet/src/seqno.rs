@@ -98,6 +98,28 @@ impl SeqChannel {
         }
     }
 
+    /// [`transmit`](SeqChannel::transmit) plus causal-trace context
+    /// injection: the context is stamped with the sequence number this
+    /// transmit will use and returned for the caller to
+    /// [`swtel::deliver`] once it knows the wire time. One context per
+    /// *logical* message — a delayed-then-retransmitted duplicate
+    /// reuses the original's, so discarded copies can never leave an
+    /// orphan flow event in the merged trace.
+    ///
+    /// The context is created *before* the transmit so the fault
+    /// decisions (`NetDelay`) are consumed in exactly the same order
+    /// as the untraced path — seeded chaos schedules replay
+    /// identically with tracing on or off.
+    pub fn transmit_traced(
+        &mut self,
+        label: &'static str,
+        from: usize,
+        to: usize,
+    ) -> (TransmitReport, Option<swtel::TraceContext>) {
+        let ctx = swtel::send_seq(label, from, to, self.next_send);
+        (self.transmit(), ctx)
+    }
+
     /// Messages applied by the receiver so far.
     pub fn applied(&self) -> u64 {
         self.next_expect
@@ -158,6 +180,43 @@ mod tests {
         assert_eq!(ch.accept(1), Delivery::Duplicate(1));
         assert_eq!(ch.applied(), 2);
         assert_eq!(ch.duplicates_discarded(), 2);
+    }
+
+    #[test]
+    fn discarded_duplicates_leave_no_orphan_flow_events() {
+        // Every transmit is delayed => every message arrives twice and
+        // the second copy is discarded. The trace must still pair each
+        // send with exactly one receive: one flow per *logical*
+        // message, none per duplicate copy. (swtel session first, then
+        // the fault scope — consistent lock order across tests.)
+        let session = swtel::Session::begin(0x5e9);
+        let plan = FaultPlan {
+            net_delay: 1.0,
+            ..FaultPlan::with_seed(7)
+        };
+        let scope = swfault::install(plan);
+        let mut ch = SeqChannel::new();
+        for i in 0..8 {
+            let (report, ctx) = ch.transmit_traced("halo.f", 0, 1);
+            assert_eq!(report.duplicates_discarded, 1);
+            let ctx = ctx.expect("session active");
+            assert_eq!(ctx.seqno, i, "context carries the channel seqno");
+            swtel::deliver(&ctx, 100);
+        }
+        drop(scope.finish());
+        let tel = session.finish();
+        tel.check_causal().expect("causal");
+        assert_eq!(tel.flows.len(), 16, "8 sends + 8 receives, no extras");
+        assert_eq!(tel.undelivered_flows(), 0);
+        assert_eq!(ch.duplicates_discarded(), 8);
+    }
+
+    #[test]
+    fn transmit_traced_is_inert_without_a_session() {
+        let mut ch = SeqChannel::new();
+        let (report, ctx) = ch.transmit_traced("halo.f", 0, 1);
+        assert_eq!(report.seq, 0);
+        assert!(ctx.is_none());
     }
 
     #[test]

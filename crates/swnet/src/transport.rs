@@ -102,6 +102,29 @@ fn inject_faults(lat: f64, stream: f64) -> f64 {
     ns
 }
 
+/// [`message_ns`] plus causal-trace propagation: when a `swtel`
+/// session is active, injects a [`swtel::TraceContext`] at `from` and
+/// delivers it at `to` with the modeled wire time, so the merged
+/// global trace shows this message as a flow arrow. Cost is identical
+/// to the untraced call (same fault decisions, same ns).
+pub fn traced_message_ns(
+    params: &NetParams,
+    transport: Transport,
+    topo: &crate::Topology,
+    from: usize,
+    to: usize,
+    bytes: usize,
+    label: &'static str,
+) -> f64 {
+    let ns = message_ns(params, transport, topo.distance(from, to), bytes);
+    if swtel::enabled() && from != to {
+        if let Some(ctx) = swtel::send_from(label, from, to) {
+            swtel::deliver(&ctx, ns.max(0.0) as u64);
+        }
+    }
+    ns
+}
+
 /// Speedup of RDMA over MPI for a given message size/distance.
 pub fn rdma_speedup(params: &NetParams, dist: RankDistance, bytes: usize) -> f64 {
     message_ns(params, Transport::Mpi, dist, bytes)

@@ -100,3 +100,45 @@ proptest! {
         prop_assert!((many - n as f64 * one).abs() < 1e-6 * many.max(1.0));
     }
 }
+
+proptest! {
+    /// Sequence-numbered channels under *any* delay rate: duplicates
+    /// are discarded and never leave an orphan flow event — the merged
+    /// trace pairs every logical message's send with exactly one
+    /// receive, no matter how many copies the wire delivered.
+    #[test]
+    fn discarded_duplicates_never_orphan_flows(
+        seed in any::<u64>(),
+        delay_percent in 0u64..101,
+        n_messages in 1u64..40,
+    ) {
+        // swtel session before the fault scope: the same lock order
+        // every other test in the workspace uses.
+        let session = swtel::Session::begin(seed ^ 0xF10);
+        let plan = swfault::FaultPlan {
+            net_delay: delay_percent as f64 / 100.0,
+            ..swfault::FaultPlan::with_seed(seed)
+        };
+        let scope = swfault::install(plan);
+        let mut ch = swnet::SeqChannel::new();
+        let mut delivered = 0u64;
+        for i in 0..n_messages {
+            let (report, ctx) = ch.transmit_traced("halo.f", 0, 1);
+            prop_assert_eq!(report.seq, i);
+            let ctx = ctx.expect("session active");
+            prop_assert_eq!(ctx.seqno, i, "context carries the channel seqno");
+            swtel::deliver(&ctx, 50 + (i % 7) * 10);
+            delivered += 1;
+        }
+        drop(scope.finish());
+        let tel = session.finish();
+        if let Err(e) = tel.check_causal() {
+            return Err(format!("not causal: {e}"));
+        }
+        // One send + one receive per *logical* message; duplicate
+        // copies the receiver discarded contribute nothing.
+        prop_assert_eq!(tel.flows.len() as u64, 2 * delivered);
+        prop_assert_eq!(tel.undelivered_flows(), 0);
+        prop_assert_eq!(ch.applied(), n_messages, "exactly-once application");
+    }
+}

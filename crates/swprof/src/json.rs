@@ -62,6 +62,12 @@ impl Value {
 }
 
 /// Append `s` to `out` as a quoted, escaped JSON string.
+///
+/// Output is pure ASCII: everything outside printable ASCII — control
+/// characters (C0 *and* DEL/C1) and all non-ASCII — is emitted as
+/// `\uXXXX`, with non-BMP scalars split into UTF-16 surrogate pairs.
+/// Span/metric labels are arbitrary user strings, so the emitter must
+/// not assume they are tame.
 pub fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -71,10 +77,13 @@ pub fn write_escaped(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+            ' '..='~' => out.push(c),
+            c => {
+                let mut units = [0u16; 2];
+                for unit in c.encode_utf16(&mut units) {
+                    let _ = write!(out, "\\u{unit:04x}");
+                }
             }
-            c => out.push(c),
         }
     }
     out.push('"');
@@ -249,29 +258,23 @@ impl Parser<'_> {
                 }
                 Some(b'\\') => {
                     self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => s.push('"'),
-                        Some(b'\\') => s.push('\\'),
-                        Some(b'/') => s.push('/'),
-                        Some(b'n') => s.push('\n'),
-                        Some(b't') => s.push('\t'),
-                        Some(b'r') => s.push('\r'),
-                        Some(b'b') => s.push('\u{8}'),
-                        Some(b'f') => s.push('\u{c}'),
+                    let c = match self.peek() {
+                        Some(b'"') => '"',
+                        Some(b'\\') => '\\',
+                        Some(b'/') => '/',
+                        Some(b'n') => '\n',
+                        Some(b't') => '\t',
+                        Some(b'r') => '\r',
+                        Some(b'b') => '\u{8}',
+                        Some(b'f') => '\u{c}',
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or_else(|| self.err("bad \\u escape"))?;
-                            // Surrogate pairs are not produced by our
-                            // emitters; map lone surrogates to U+FFFD.
-                            s.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
+                            self.pos += 1;
+                            s.push(self.unicode_escape()?);
+                            continue;
                         }
                         _ => return Err(self.err("bad escape")),
-                    }
+                    };
+                    s.push(c);
                     self.pos += 1;
                 }
                 Some(_) => {
@@ -279,12 +282,65 @@ impl Parser<'_> {
                     // boundaries are valid).
                     let rest = &self.bytes[self.pos..];
                     let tail = std::str::from_utf8(rest).map_err(|_| self.err("bad UTF-8"))?;
-                    let c = tail.chars().next().unwrap();
+                    let c = tail
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("unterminated string"))?;
                     s.push(c);
                     self.pos += c.len_utf8();
                 }
             }
         }
+    }
+
+    /// Exactly four hex digits at the cursor (strict: `from_str_radix`
+    /// would accept a leading `+`).
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for i in 0..4 {
+            let b = *self
+                .bytes
+                .get(self.pos + i)
+                .ok_or_else(|| self.err("bad \\u escape"))?;
+            let digit = match b {
+                b'0'..=b'9' => b - b'0',
+                b'a'..=b'f' => b - b'a' + 10,
+                b'A'..=b'F' => b - b'A' + 10,
+                _ => return Err(self.err("bad \\u escape")),
+            };
+            v = v * 16 + digit as u32;
+        }
+        self.pos += 4;
+        Ok(v)
+    }
+
+    /// Body of a `\u` escape, cursor on the first hex digit. Handles
+    /// UTF-16 surrogate pairs (the emitter produces them for non-BMP
+    /// scalars); a lone surrogate decodes as U+FFFD rather than
+    /// rejecting the document.
+    fn unicode_escape(&mut self) -> Result<char, ParseError> {
+        let hi = self.hex4()?;
+        if (0xD800..=0xDBFF).contains(&hi) {
+            if self.bytes.get(self.pos) == Some(&b'\\')
+                && self.bytes.get(self.pos + 1) == Some(&b'u')
+            {
+                let save = self.pos;
+                self.pos += 2;
+                let lo = self.hex4()?;
+                if (0xDC00..=0xDFFF).contains(&lo) {
+                    let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    return Ok(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                }
+                // Lookahead was an ordinary escape, not the low half:
+                // rewind and let the loop handle it on its own.
+                self.pos = save;
+            }
+            return Ok('\u{fffd}');
+        }
+        if (0xDC00..=0xDFFF).contains(&hi) {
+            return Ok('\u{fffd}');
+        }
+        Ok(char::from_u32(hi).unwrap_or('\u{fffd}'))
     }
 
     fn num(&mut self) -> Result<Value, ParseError> {
@@ -305,7 +361,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
         text.parse::<f64>()
             .map(Value::Num)
             .map_err(|_| self.err("bad number"))
@@ -321,6 +378,38 @@ mod tests {
         for s in ["plain", "with \"quotes\"", "tab\there", "nl\nthere", "π∂"] {
             let doc = escaped(s);
             assert_eq!(parse(&doc).unwrap(), Value::Str(s.to_string()), "{doc}");
+        }
+    }
+
+    #[test]
+    fn escapes_are_pure_ascii_including_surrogate_pairs() {
+        // Non-BMP scalar: U+1F680 -> \ud83d\ude80.
+        let doc = escaped("go \u{1F680} now");
+        assert!(doc.is_ascii(), "{doc}");
+        assert!(doc.contains("\\ud83d\\ude80"), "{doc}");
+        assert_eq!(parse(&doc).unwrap(), Value::Str("go \u{1F680} now".into()));
+        // DEL and C1 controls must not pass through raw.
+        let doc = escaped("a\u{7f}b\u{9b}c");
+        assert!(doc.is_ascii() && doc.contains("\\u007f") && doc.contains("\\u009b"));
+        assert_eq!(parse(&doc).unwrap(), Value::Str("a\u{7f}b\u{9b}c".into()));
+    }
+
+    #[test]
+    fn lone_surrogates_decode_as_replacement() {
+        assert_eq!(parse("\"\\ud800\"").unwrap(), Value::Str("\u{fffd}".into()));
+        assert_eq!(parse("\"\\udfff\"").unwrap(), Value::Str("\u{fffd}".into()));
+        // High surrogate followed by a non-surrogate escape: the high
+        // half becomes U+FFFD, the follower survives.
+        assert_eq!(
+            parse("\"\\ud800\\u0041\"").unwrap(),
+            Value::Str("\u{fffd}A".into())
+        );
+    }
+
+    #[test]
+    fn strict_hex_in_unicode_escapes() {
+        for bad in ["\"\\u+123\"", "\"\\u12g4\"", "\"\\u12\"", "\"\\u\""] {
+            assert!(parse(bad).is_err(), "{bad}");
         }
     }
 

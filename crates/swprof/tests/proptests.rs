@@ -165,3 +165,46 @@ proptest! {
         }
     }
 }
+
+/// Arbitrary label strings biased toward the classes the escaper has
+/// to handle: C0 controls, printable ASCII, DEL/C1/Latin-1, the whole
+/// BMP (including the surrogate gap, mapped to U+FFFD), and astral
+/// scalars that need surrogate pairs. (The shim's `any` has no String
+/// impl, so the strategy is built from raw words.)
+fn label_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u64>(), 0..24).prop_map(|words| {
+        words
+            .iter()
+            .map(|&w| {
+                let payload = (w >> 3) as u32;
+                let cp = match w % 5 {
+                    0 => payload % 0x20,
+                    1 => 0x20 + payload % 0x5f,
+                    2 => 0x7f + payload % 0x81,
+                    3 => payload % 0x1_0000,
+                    _ => 0x1_0000 + payload % 0x10_0000,
+                };
+                char::from_u32(cp).unwrap_or('\u{fffd}')
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Any label string survives emit -> parse unchanged, and the
+    /// emitted form is pure ASCII (so downstream tools never see raw
+    /// control bytes or mojibake).
+    #[test]
+    fn arbitrary_labels_round_trip_through_json(s in label_strategy()) {
+        let doc = swprof::json::escaped(&s);
+        prop_assert!(doc.is_ascii(), "non-ASCII leaked into {doc:?}");
+        match swprof::json::parse(&doc) {
+            Ok(swprof::json::Value::Str(back)) => prop_assert_eq!(&back, &s),
+            other => prop_assert!(false, "parse of {:?} gave {:?}", doc, other),
+        }
+        // The same string embedded as an object key and value.
+        let obj = format!("{{{}:{}}}", swprof::json::escaped(&s), doc);
+        let v = swprof::json::parse(&obj).expect("object parses");
+        prop_assert_eq!(v.get(&s).and_then(|x| x.as_str()), Some(s.as_str()));
+    }
+}

@@ -445,6 +445,10 @@ impl Store {
         assert!(!frames.is_empty(), "a generation needs at least one rank");
         let bytes = encode_generation(epoch, frames);
         atomic_write(&self.dir, &tmp_name(epoch), &gen_name(epoch), &bytes)?;
+        // Black box: successful commits anchor a post-mortem — the
+        // flight dump's last "store" event names the generation the
+        // chain ends at.
+        swtel::flight::record("store", "commit", epoch, frames.len() as u64);
         if swprof::enabled() {
             swprof::metrics::counter_add("store.generations_written", 1);
             swprof::metrics::counter_add("store.bytes_written", bytes.len() as u64);
@@ -475,6 +479,7 @@ impl Store {
                         && attempt < swfault::retry::MAX_ATTEMPTS =>
                 {
                     attempt += 1;
+                    swtel::flight::record("store", "fsync_retry", epoch, attempt as u64);
                     if swprof::enabled() {
                         swprof::metrics::counter_add("store.fsync_retries", 1);
                     }

@@ -1,0 +1,185 @@
+//! Always-on flight recorder: a fixed-capacity, allocation-free ring
+//! of recent events, dumped as a black-box file on aborts.
+//!
+//! Unlike the tracing session, the recorder has no enable switch — a
+//! black box that has to be armed is useless. Cost per record is one
+//! mutex lock and a few word stores into a const-initialized array of
+//! `Copy` structs (`&'static str` labels, no allocation ever); the
+//! criterion guard in `bench/benches/swtel_overhead.rs` bounds it.
+//!
+//! Producers:
+//! - `swfault::decide` — every fired fault decision (`kind: "fault"`)
+//! - `swgmx::engine` — stage charges and kernel-fault absorption
+//! - `swstore` — generation commits and fsync retries (`kind: "store"`)
+//! - `mdsim::ddrun`/`durable` + `swgmx::recovery` — rollbacks and rank
+//!   deaths (`kind: "abort"`), which also trigger [`dump_to`].
+//!
+//! The dump is a self-contained JSON file written next to the swstore
+//! generation chain so a post-mortem can line the last ~[`CAPACITY`]
+//! events up against the store manifest.
+
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+
+use swprof::json;
+
+/// Ring capacity: the black box holds the last 256 events.
+pub const CAPACITY: usize = 256;
+
+/// One flight-recorder entry. `a`/`b` are event-specific payload words
+/// (e.g. cycles + aux counter for a stage, epoch + frame count for a
+/// store commit, rank + step for an abort).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Monotone sequence number (total events ever recorded when this
+    /// entry was written; never resets while the process lives).
+    pub seq: u64,
+    /// Coarse event class: `"stage"`, `"fault"`, `"store"`, `"abort"`.
+    pub kind: &'static str,
+    /// Event label within the class.
+    pub label: &'static str,
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+const EMPTY: FlightEvent = FlightEvent {
+    seq: 0,
+    kind: "",
+    label: "",
+    a: 0,
+    b: 0,
+};
+
+struct Ring {
+    events: [FlightEvent; CAPACITY],
+    recorded: u64,
+}
+
+static RING: Mutex<Ring> = Mutex::new(Ring {
+    events: [EMPTY; CAPACITY],
+    recorded: 0,
+});
+
+/// Record an event. Always on; allocation-free.
+pub fn record(kind: &'static str, label: &'static str, a: u64, b: u64) {
+    let mut ring = RING.lock().unwrap_or_else(|e| e.into_inner());
+    let seq = ring.recorded;
+    ring.events[(seq % CAPACITY as u64) as usize] = FlightEvent {
+        seq,
+        kind,
+        label,
+        a,
+        b,
+    };
+    ring.recorded = seq + 1;
+}
+
+/// Total events ever recorded (not capped at [`CAPACITY`]).
+pub fn recorded() -> u64 {
+    RING.lock().unwrap_or_else(|e| e.into_inner()).recorded
+}
+
+/// The surviving events, oldest first.
+pub fn snapshot() -> Vec<FlightEvent> {
+    let ring = RING.lock().unwrap_or_else(|e| e.into_inner());
+    let n = ring.recorded.min(CAPACITY as u64);
+    let mut out = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let seq = ring.recorded - n + i;
+        out.push(ring.events[(seq % CAPACITY as u64) as usize]);
+    }
+    out
+}
+
+/// Clear the ring (tests only — a real black box never forgets).
+pub fn reset() {
+    let mut ring = RING.lock().unwrap_or_else(|e| e.into_inner());
+    ring.events = [EMPTY; CAPACITY];
+    ring.recorded = 0;
+}
+
+/// Serialize the current ring as a self-contained JSON document.
+pub fn dump_json() -> String {
+    let events = snapshot();
+    let mut out = String::with_capacity(64 + events.len() * 80);
+    out.push_str("{\"capacity\":");
+    out.push_str(&CAPACITY.to_string());
+    out.push_str(",\"recorded\":");
+    out.push_str(&recorded().to_string());
+    out.push_str(",\"events\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"seq\":");
+        out.push_str(&ev.seq.to_string());
+        out.push_str(",\"kind\":");
+        out.push_str(&json::escaped(ev.kind));
+        out.push_str(",\"label\":");
+        out.push_str(&json::escaped(ev.label));
+        out.push_str(",\"a\":");
+        out.push_str(&ev.a.to_string());
+        out.push_str(",\"b\":");
+        out.push_str(&ev.b.to_string());
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Write the black-box dump to `path` (parent directories created).
+pub fn dump_to(path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, dump_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    // Unit tests share the process-global ring with every other test
+    // in this binary; serialize the ones that reset it.
+    static TEST_LOCK: StdMutex<()> = StdMutex::new(());
+
+    #[test]
+    fn ring_keeps_the_last_capacity_events() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        for i in 0..(CAPACITY as u64 + 10) {
+            record("stage", "force", i, 0);
+        }
+        let snap = snapshot();
+        assert_eq!(snap.len(), CAPACITY);
+        assert_eq!(snap.first().unwrap().seq, 10);
+        assert_eq!(snap.last().unwrap().seq, CAPACITY as u64 + 9);
+        assert!(snap.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+    }
+
+    #[test]
+    fn dump_is_valid_json_and_ordered() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        record("abort", "rank_kill", 2, 17);
+        record("store", "commit", 20, 1);
+        let doc = dump_json();
+        let parsed = json::parse(&doc).expect("dump parses");
+        let events = parsed.get("events").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0].get("label").and_then(|v| v.as_str()),
+            Some("rank_kill")
+        );
+        assert_eq!(
+            events[1].get("kind").and_then(|v| v.as_str()),
+            Some("store")
+        );
+    }
+}

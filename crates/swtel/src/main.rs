@@ -1,0 +1,104 @@
+//! `swtel` — trace merge + perf-regression gate CLI.
+//!
+//! ```text
+//! swtel merge --out FILE IN1.json IN2.json ...
+//!     Combine per-rank Chrome traces into one global timeline
+//!     (input i becomes process i; flow ids pass through).
+//!
+//! swtel gate --baselines DIR --fresh DIR [--out FILE]
+//!     Compare fresh BENCH_*.json sidecars against committed
+//!     baselines. Exit 0 on parity, 1 on regression, 2 on usage/IO
+//!     errors. --out writes the machine-readable verdict JSON.
+//! ```
+
+use std::path::PathBuf;
+
+fn die(msg: &str) -> ! {
+    eprintln!("swtel: {msg} (try --help)");
+    std::process::exit(2);
+}
+
+const USAGE: &str = "swtel merge --out FILE IN1 IN2 ...\n\
+                     swtel gate --baselines DIR --fresh DIR [--out FILE]";
+
+fn main() {
+    let mut it = std::env::args().skip(1);
+    match it.next().as_deref() {
+        Some("merge") => merge(it),
+        Some("gate") => gate(it),
+        Some("--help") | Some("-h") => println!("{USAGE}"),
+        Some(other) => die(&format!("unknown command `{other}`")),
+        None => die("missing command"),
+    }
+}
+
+fn merge(mut it: impl Iterator<Item = String>) {
+    let mut out: Option<PathBuf> = None;
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| die("--out needs a value")),
+                ));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            flag if flag.starts_with("--") => die(&format!("unknown flag {flag}")),
+            path => inputs.push(PathBuf::from(path)),
+        }
+    }
+    let out = out.unwrap_or_else(|| die("merge requires --out FILE"));
+    if inputs.is_empty() {
+        die("merge requires at least one input trace");
+    }
+    let docs: Vec<String> = inputs
+        .iter()
+        .map(|p| {
+            std::fs::read_to_string(p).unwrap_or_else(|e| die(&format!("{}: {e}", p.display())))
+        })
+        .collect();
+    let merged = swtel::merge::merge_documents(&docs).unwrap_or_else(|e| die(&e));
+    std::fs::write(&out, &merged).unwrap_or_else(|e| die(&format!("{}: {e}", out.display())));
+    println!(
+        "merged {} trace(s) into {} ({} bytes)",
+        inputs.len(),
+        out.display(),
+        merged.len()
+    );
+}
+
+fn gate(mut it: impl Iterator<Item = String>) {
+    let mut baselines: Option<PathBuf> = None;
+    let mut fresh: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            PathBuf::from(
+                it.next()
+                    .unwrap_or_else(|| die(&format!("{flag} needs a value"))),
+            )
+        };
+        match arg.as_str() {
+            "--baselines" => baselines = Some(value("--baselines")),
+            "--fresh" => fresh = Some(value("--fresh")),
+            "--out" => out = Some(value("--out")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    let baselines = baselines.unwrap_or_else(|| die("gate requires --baselines DIR"));
+    let fresh = fresh.unwrap_or_else(|| die("gate requires --fresh DIR"));
+    let report = swtel::gate::compare_dirs(&baselines, &fresh).unwrap_or_else(|e| die(&e));
+    if let Some(out) = out {
+        std::fs::write(&out, report.to_json())
+            .unwrap_or_else(|e| die(&format!("{}: {e}", out.display())));
+    }
+    print!("{}", report.summary());
+    std::process::exit(if report.passed() { 0 } else { 1 });
+}

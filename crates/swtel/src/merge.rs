@@ -1,0 +1,297 @@
+//! Chrome-trace export and cross-document merge.
+//!
+//! A finished [`Telemetry`] exports either one rank's view
+//! ([`Telemetry::rank_trace`]) or the whole fleet
+//! ([`Telemetry::to_chrome_trace`]) as Chrome `trace_event` JSON:
+//! `pid` = rank, `tid` = 0, `ts` in microseconds off the shared
+//! virtual-ns timebase. Cross-rank messages appear as flow events —
+//! `ph: "s"` at the send, `ph: "f"` (with `bp: "e"`) at the receive,
+//! sharing the flow id — which Perfetto draws as arrows between the
+//! rank tracks.
+//!
+//! [`merge_documents`] combines separately-written per-rank trace
+//! files into one global timeline: each input document becomes one
+//! process (its `pid`s are reassigned to the document index), and the
+//! flow events keep their ids, so arrows survive the merge as long as
+//! the inputs came from the same session.
+
+use swprof::json::{self, Value};
+
+use crate::{FlowPhase, SpanPhase, Telemetry};
+
+enum Ev<'a> {
+    Span(&'a crate::SpanEvent),
+    Flow(&'a crate::FlowEvent),
+}
+
+impl Ev<'_> {
+    fn ord(&self) -> u64 {
+        match self {
+            Ev::Span(s) => s.ord,
+            Ev::Flow(f) => f.ord,
+        }
+    }
+
+    fn rank(&self) -> usize {
+        match self {
+            Ev::Span(s) => s.rank,
+            Ev::Flow(f) => f.rank,
+        }
+    }
+}
+
+fn push_common(out: &mut String, name: &str, ph: &str, pid: usize, ns: u64) {
+    out.push_str("{\"name\":");
+    json::write_escaped(out, name);
+    out.push_str(",\"ph\":\"");
+    out.push_str(ph);
+    out.push_str("\",\"pid\":");
+    out.push_str(&pid.to_string());
+    out.push_str(",\"tid\":0,\"ts\":");
+    out.push_str(&json::number(ns as f64 / 1000.0));
+}
+
+impl Telemetry {
+    fn emit(&self, only_rank: Option<usize>) -> String {
+        let mut events: Vec<Ev<'_>> = self
+            .spans
+            .iter()
+            .map(Ev::Span)
+            .chain(self.flows.iter().map(Ev::Flow))
+            .filter(|e| only_rank.is_none_or(|r| e.rank() == r))
+            .collect();
+        events.sort_by_key(|e| e.ord());
+
+        let mut out = String::with_capacity(256 + events.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if !std::mem::take(&mut first) {
+                out.push(',');
+            }
+        };
+        for rank in 0..self.n_ranks {
+            if only_rank.is_some_and(|r| r != rank) {
+                continue;
+            }
+            sep(&mut out);
+            out.push_str(&format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{rank},\"tid\":0,\
+                 \"args\":{{\"name\":\"rank {rank}\"}}}}"
+            ));
+            sep(&mut out);
+            out.push_str(&format!(
+                "{{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":{rank},\"tid\":0,\
+                 \"args\":{{\"sort_index\":{rank}}}}}"
+            ));
+        }
+        for ev in &events {
+            sep(&mut out);
+            match ev {
+                Ev::Span(s) => {
+                    let ph = match s.phase {
+                        SpanPhase::Begin => "B",
+                        SpanPhase::End => "E",
+                    };
+                    push_common(&mut out, s.label, ph, s.rank, s.ns);
+                    out.push_str(",\"args\":{\"span_id\":");
+                    out.push_str(&s.span_id.to_string());
+                    out.push_str("}}");
+                }
+                Ev::Flow(f) => {
+                    let ph = match f.phase {
+                        FlowPhase::Send => "s",
+                        FlowPhase::Recv => "f",
+                    };
+                    push_common(&mut out, f.label, ph, f.rank, f.ns);
+                    out.push_str(",\"cat\":\"net\",\"id\":");
+                    out.push_str(&f.flow_id.to_string());
+                    if matches!(f.phase, FlowPhase::Recv) {
+                        out.push_str(",\"bp\":\"e\"");
+                    }
+                    out.push_str(",\"args\":{\"trace_id\":");
+                    out.push_str(&f.trace_id.to_string());
+                    out.push_str(",\"parent_span_id\":");
+                    out.push_str(&f.parent_span_id.to_string());
+                    out.push_str(",\"seqno\":");
+                    out.push_str(&f.seqno.to_string());
+                    out.push_str(",\"peer\":");
+                    out.push_str(&f.peer.to_string());
+                    out.push_str("}}");
+                }
+            }
+        }
+        out.push_str("],\"displayTimeUnit\":\"ns\",\"otherData\":{\"trace_id\":");
+        out.push_str(&self.trace_id.to_string());
+        out.push_str("}}");
+        out
+    }
+
+    /// The whole fleet as one Chrome trace: one process per rank, flow
+    /// arrows linking each send to its receive.
+    pub fn to_chrome_trace(&self) -> String {
+        self.emit(None)
+    }
+
+    /// A single rank's view (its spans plus its ends of each flow).
+    pub fn rank_trace(&self, rank: usize) -> String {
+        self.emit(Some(rank))
+    }
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => out.push_str(&json::number(*n)),
+        Value::Str(s) => json::write_escaped(out, s),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(map) => {
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::write_escaped(out, k);
+                out.push(':');
+                write_value(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Merge separately-written Chrome trace documents into one global
+/// timeline. Document `i`'s events get `pid` = `i`, so each input
+/// becomes one process track group; everything else (including flow
+/// ids) passes through untouched.
+pub fn merge_documents(docs: &[String]) -> Result<String, String> {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for (i, doc) in docs.iter().enumerate() {
+        let parsed = json::parse(doc).map_err(|e| format!("input {i}: {e}"))?;
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_arr())
+            .ok_or_else(|| format!("input {i}: no traceEvents array"))?;
+        for ev in events {
+            let Value::Obj(fields) = ev else {
+                return Err(format!("input {i}: non-object trace event"));
+            };
+            let mut fields = fields.clone();
+            fields.insert("pid".to_string(), Value::Num(i as f64));
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write_value(&Value::Obj(fields), &mut out);
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{deliver, send_from, set_rank, span_on, tick_on, Session};
+
+    fn sample() -> Telemetry {
+        let session = Session::begin(0xabc);
+        set_rank(Some(0));
+        {
+            let _s = span_on(0, "step");
+            tick_on(0, 500);
+            let ctx = send_from("halo.f", 0, 1).unwrap();
+            {
+                let _r = span_on(1, "step");
+                tick_on(1, 100);
+                deliver(&ctx, 250);
+            }
+        }
+        set_rank(None);
+        session.finish()
+    }
+
+    #[test]
+    fn global_trace_has_flows_and_nested_spans() {
+        let tel = sample();
+        tel.check_causal().unwrap();
+        let doc = tel.to_chrome_trace();
+        let v = json::parse(&doc).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(|x| x.as_arr()).unwrap();
+        let mut sends = 0;
+        let mut finishes = 0;
+        let mut depth = std::collections::BTreeMap::new();
+        for e in events {
+            match e.get("ph").and_then(|p| p.as_str()).unwrap() {
+                "s" => sends += 1,
+                "f" => {
+                    finishes += 1;
+                    assert_eq!(e.get("bp").and_then(|b| b.as_str()), Some("e"));
+                }
+                "B" => {
+                    let pid = e.get("pid").and_then(|p| p.as_num()).unwrap() as i64;
+                    *depth.entry(pid).or_insert(0i64) += 1;
+                }
+                "E" => {
+                    let pid = e.get("pid").and_then(|p| p.as_num()).unwrap() as i64;
+                    let d = depth.entry(pid).or_insert(0i64);
+                    *d -= 1;
+                    assert!(*d >= 0);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!((sends, finishes), (1, 1));
+        assert!(depth.values().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn rank_trace_filters_to_one_pid() {
+        let tel = sample();
+        let doc = tel.rank_trace(1);
+        let v = json::parse(&doc).unwrap();
+        for e in v.get("traceEvents").and_then(|x| x.as_arr()).unwrap() {
+            assert_eq!(e.get("pid").and_then(|p| p.as_num()), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn merge_reassigns_pids_per_document() {
+        let tel = sample();
+        let docs = vec![tel.rank_trace(0), tel.rank_trace(1)];
+        let merged = merge_documents(&docs).unwrap();
+        let v = json::parse(&merged).unwrap();
+        let events = v.get("traceEvents").and_then(|x| x.as_arr()).unwrap();
+        let pids: std::collections::BTreeSet<i64> = events
+            .iter()
+            .map(|e| e.get("pid").and_then(|p| p.as_num()).unwrap() as i64)
+            .collect();
+        assert_eq!(pids.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+        // Flow ids pass through: the send in doc 0 still pairs with
+        // the receive in doc 1.
+        let flow_ids: Vec<i64> = events
+            .iter()
+            .filter(|e| matches!(e.get("ph").and_then(|p| p.as_str()), Some("s") | Some("f")))
+            .map(|e| e.get("id").and_then(|p| p.as_num()).unwrap() as i64)
+            .collect();
+        assert_eq!(flow_ids.len(), 2);
+        assert_eq!(flow_ids[0], flow_ids[1]);
+    }
+
+    #[test]
+    fn merge_rejects_garbage() {
+        assert!(merge_documents(&["not json".to_string()]).is_err());
+        assert!(merge_documents(&["{\"a\":1}".to_string()]).is_err());
+    }
+}

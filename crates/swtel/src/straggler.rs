@@ -1,0 +1,141 @@
+//! Straggler detection over per-rank virtual-ns step latencies.
+//!
+//! No wall clock: the inputs are span durations off the virtual cycle
+//! tracks ([`crate::Telemetry::span_durations`]). Each rank's step
+//! series is smoothed with an EWMA; a rank is flagged when its EWMA
+//! sits more than `k` median-absolute-deviations above the fleet
+//! median *and* beats a minimum ratio, so a tightly-clustered fleet
+//! (MAD ≈ 0) doesn't flag noise.
+
+/// Detector tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct StragglerConfig {
+    /// EWMA smoothing factor in `(0, 1]`; higher = more reactive.
+    pub alpha: f64,
+    /// MAD multiplier: flag when `ewma - median > k * MAD`.
+    pub k: f64,
+    /// Floor: also require `ewma > min_ratio * median`.
+    pub min_ratio: f64,
+}
+
+impl Default for StragglerConfig {
+    fn default() -> Self {
+        StragglerConfig {
+            alpha: 0.3,
+            k: 4.0,
+            min_ratio: 1.15,
+        }
+    }
+}
+
+/// One flagged rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerFlag {
+    /// The drifting rank.
+    pub rank: usize,
+    /// Its EWMA-smoothed step latency (virtual ns).
+    pub ewma_ns: f64,
+    /// Fleet median of the per-rank EWMAs.
+    pub median_ns: f64,
+    /// Median absolute deviation of the per-rank EWMAs.
+    pub mad_ns: f64,
+}
+
+fn ewma(series: &[u64], alpha: f64) -> Option<f64> {
+    let mut it = series.iter();
+    let mut acc = *it.next()? as f64;
+    for &x in it {
+        acc = alpha * x as f64 + (1.0 - alpha) * acc;
+    }
+    Some(acc)
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Flag ranks whose smoothed step latency drifts above the fleet.
+/// `per_rank_ns[r]` is rank `r`'s step-duration series; ranks with an
+/// empty series are skipped (they never ran a step).
+pub fn detect(per_rank_ns: &[Vec<u64>], cfg: StragglerConfig) -> Vec<StragglerFlag> {
+    let ewmas: Vec<Option<f64>> = per_rank_ns.iter().map(|s| ewma(s, cfg.alpha)).collect();
+    let mut values: Vec<f64> = ewmas.iter().filter_map(|e| *e).collect();
+    if values.len() < 3 {
+        return Vec::new(); // no meaningful fleet to deviate from
+    }
+    values.sort_by(|a, b| a.total_cmp(b));
+    let med = median(&values);
+    let mut devs: Vec<f64> = values.iter().map(|v| (v - med).abs()).collect();
+    devs.sort_by(|a, b| a.total_cmp(b));
+    let mad = median(&devs);
+    let spread = mad.max(f64::EPSILON * med.max(1.0));
+
+    let mut flags = Vec::new();
+    for (rank, e) in ewmas.iter().enumerate() {
+        let Some(ewma_ns) = *e else { continue };
+        if ewma_ns - med > cfg.k * spread && ewma_ns > cfg.min_ratio * med {
+            flags.push(StragglerFlag {
+                rank,
+                ewma_ns,
+                median_ns: med,
+                mad_ns: mad,
+            });
+        }
+    }
+    flags
+}
+
+/// Convenience: run [`detect`] on the durations of `label` spans in a
+/// finished [`crate::Telemetry`].
+pub fn detect_spans(
+    tel: &crate::Telemetry,
+    label: &str,
+    cfg: StragglerConfig,
+) -> Vec<StragglerFlag> {
+    detect(&tel.span_durations(label), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_fleet_has_no_stragglers() {
+        let series: Vec<Vec<u64>> = (0..8).map(|_| vec![1000; 20]).collect();
+        assert!(detect(&series, StragglerConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn drifting_rank_is_flagged() {
+        let mut series: Vec<Vec<u64>> = (0..8).map(|_| vec![1000; 20]).collect();
+        // Rank 5 drifts upward over the run.
+        series[5] = (0..20).map(|i| 1000 + i * 150).collect();
+        let flags = detect(&series, StragglerConfig::default());
+        assert_eq!(flags.len(), 1);
+        assert_eq!(flags[0].rank, 5);
+        assert!(flags[0].ewma_ns > flags[0].median_ns * 1.15);
+    }
+
+    #[test]
+    fn jittery_but_centered_fleet_stays_quiet() {
+        // ±5% jitter around a common mean must not flag anyone.
+        let series: Vec<Vec<u64>> = (0..8)
+            .map(|r| (0..20).map(|i| 1000 + ((r * 7 + i * 13) % 100)).collect())
+            .collect();
+        assert!(detect(&series, StragglerConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn tiny_fleets_never_flag() {
+        let series = vec![vec![1000; 5], vec![9000; 5]];
+        assert!(detect(&series, StragglerConfig::default()).is_empty());
+    }
+}

@@ -8,6 +8,8 @@
 //! - [`swgmx`] — the paper's contribution: particle packages, software
 //!   caches, deferred update, Bit-Map marks, vectorized kernels, CPE
 //!   pair-list generation, fast I/O, platform TTF model
+//! - [`swtel`] — cross-rank causal tracing, always-on flight recorder,
+//!   and the perf-regression gate
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -16,3 +18,4 @@ pub use mdsim;
 pub use sw26010;
 pub use swgmx;
 pub use swnet;
+pub use swtel;
