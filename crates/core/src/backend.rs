@@ -1,0 +1,239 @@
+//! Backend certification: the contract a kernel execution substrate
+//! must satisfy before the engine will schedule physics on it.
+//!
+//! The simulated [`CoreGroup`](sw26010::CoreGroup) backend runs CPE
+//! "lanes" sequentially on one host thread, so its determinism is free.
+//! The planned `Native` backend (real threads, real SIMD) forfeits that
+//! freedom: the 64 lanes genuinely interleave, and any hidden ordering
+//! assumption becomes a heisenbug. This module is the gate between the
+//! two worlds. A backend earns the right to carry physics by producing
+//! a [`Certificate`]: proof that the `swcheck` happens-before engine
+//! found no races (SWC110–SWC113) on its traces and that schedule
+//! exploration replayed those traces under many legal interleavings
+//! without the verdicts or the physics checksum moving.
+//!
+//! The certifying authority lives in the `swcheck` crate (which depends
+//! on this one); the *contract* lives here so the engine can demand a
+//! certificate without a dependency cycle.
+
+use crate::check::Variant;
+
+/// How a backend executes kernel lanes, as declared by the backend
+/// itself. Certification requirements scale with the honesty of this
+/// answer: a sequential backend's traces cannot exhibit real races, so
+/// its certificate mostly guards the *model*; a concurrent backend's
+/// certificate guards the *execution*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Concurrency {
+    /// Lanes run one after another on the calling thread (the simulator).
+    Sequential,
+    /// Lanes run on real OS threads and genuinely interleave.
+    Threads,
+}
+
+/// Evidence that one kernel variant passed certification on a backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VariantCertificate {
+    /// The certified variant.
+    pub variant: Variant,
+    /// Seeds whose traces were checked.
+    pub seeds: Vec<u64>,
+    /// Legal interleavings replayed per trace (schedule exploration).
+    pub schedules_explored: usize,
+    /// Physics checksum, identical across every replayed schedule.
+    pub checksum: u64,
+}
+
+/// A backend's clean bill of health: every variant raced-checked and
+/// schedule-stable. Issued by `swcheck::schedule::certify`; consumed by
+/// [`assert_certified`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Certificate {
+    /// Name of the backend the certificate covers.
+    pub backend: &'static str,
+    /// Per-variant evidence, in [`Variant::ALL`] order.
+    pub variants: Vec<VariantCertificate>,
+}
+
+impl Certificate {
+    /// Whether every variant in [`Variant::ALL`] is covered with at
+    /// least `min_schedules` explored interleavings.
+    pub fn covers_all_variants(&self, min_schedules: usize) -> bool {
+        Variant::ALL.iter().all(|v| {
+            self.variants
+                .iter()
+                .any(|c| c.variant == *v && c.schedules_explored >= min_schedules)
+        })
+    }
+}
+
+/// The execution-substrate contract. A backend is the thing that runs a
+/// spawn region's 64 lanes; the engine only talks to certified ones.
+pub trait KernelBackend {
+    /// Diagnostic name ("simulated", "native-threads", ...).
+    fn name(&self) -> &'static str;
+
+    /// How this backend's lanes actually execute.
+    fn concurrency(&self) -> Concurrency;
+}
+
+/// A backend that has been through certification. The supertrait bound
+/// is the whole point: you cannot implement this without also deciding
+/// what your concurrency story is, and you should not implement it
+/// without a [`Certificate`] to back the claim — `assert_certified` is
+/// the runtime teeth.
+pub trait CertifiedBackend: KernelBackend {
+    /// The certificate this backend was admitted under.
+    fn certificate(&self) -> &Certificate;
+}
+
+/// Minimum interleavings per variant a concurrent backend must have
+/// survived. Sequential backends (the simulator) get the same bar —
+/// exploration runs on their traces' happens-before DAG, so the count
+/// is about model coverage, not thread luck.
+pub const MIN_SCHEDULES: usize = 200;
+
+/// Gate a backend at registration time: panics with a diagnosable
+/// message if its certificate does not cover every kernel variant with
+/// [`MIN_SCHEDULES`] explored interleavings.
+pub fn assert_certified<B: CertifiedBackend>(backend: &B) {
+    let cert = backend.certificate();
+    assert_eq!(
+        cert.backend,
+        backend.name(),
+        "certificate for `{}` presented by backend `{}`",
+        cert.backend,
+        backend.name()
+    );
+    for v in Variant::ALL {
+        let Some(c) = cert.variants.iter().find(|c| c.variant == v) else {
+            panic!(
+                "backend `{}` has no certificate for variant `{}`",
+                backend.name(),
+                v.name()
+            );
+        };
+        assert!(
+            c.schedules_explored >= MIN_SCHEDULES,
+            "backend `{}` explored only {} schedules for `{}` (need {})",
+            backend.name(),
+            c.schedules_explored,
+            v.name(),
+            MIN_SCHEDULES
+        );
+    }
+}
+
+/// The in-tree simulated backend: sequential lanes on the host thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimulatedBackend;
+
+impl SimulatedBackend {
+    /// The backend as shipped (no certificate attached yet — tests and
+    /// the `swcheck certify` CLI mint one and wrap it in
+    /// [`Certified`]).
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl KernelBackend for SimulatedBackend {
+    fn name(&self) -> &'static str {
+        "simulated"
+    }
+
+    fn concurrency(&self) -> Concurrency {
+        Concurrency::Sequential
+    }
+}
+
+/// Wrapper admitting any [`KernelBackend`] with a minted certificate.
+/// Construction runs [`assert_certified`], so holding a `Certified<B>`
+/// is proof the gate was passed.
+#[derive(Debug, Clone)]
+pub struct Certified<B: KernelBackend> {
+    backend: B,
+    certificate: Certificate,
+}
+
+impl<B: KernelBackend> Certified<B> {
+    /// Admit `backend` under `certificate`, panicking if the
+    /// certificate falls short of the bar.
+    pub fn admit(backend: B, certificate: Certificate) -> Self {
+        let admitted = Self {
+            backend,
+            certificate,
+        };
+        assert_certified(&admitted);
+        admitted
+    }
+
+    /// The wrapped backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+}
+
+impl<B: KernelBackend> KernelBackend for Certified<B> {
+    fn name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    fn concurrency(&self) -> Concurrency {
+        self.backend.concurrency()
+    }
+}
+
+impl<B: KernelBackend> CertifiedBackend for Certified<B> {
+    fn certificate(&self) -> &Certificate {
+        &self.certificate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_cert(backend: &'static str, schedules: usize) -> Certificate {
+        Certificate {
+            backend,
+            variants: Variant::ALL
+                .iter()
+                .map(|&variant| VariantCertificate {
+                    variant,
+                    seeds: vec![1, 2, 3],
+                    schedules_explored: schedules,
+                    checksum: 0xfeed,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn full_certificate_admits_the_backend() {
+        let c = Certified::admit(SimulatedBackend::new(), full_cert("simulated", 200));
+        assert_eq!(c.name(), "simulated");
+        assert_eq!(c.concurrency(), Concurrency::Sequential);
+        assert!(c.certificate().covers_all_variants(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "no certificate for variant")]
+    fn missing_variant_is_rejected() {
+        let mut cert = full_cert("simulated", 200);
+        cert.variants.retain(|c| c.variant != Variant::Rma);
+        Certified::admit(SimulatedBackend::new(), cert);
+    }
+
+    #[test]
+    #[should_panic(expected = "explored only 10 schedules")]
+    fn underexplored_certificate_is_rejected() {
+        Certified::admit(SimulatedBackend::new(), full_cert("simulated", 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "presented by backend")]
+    fn certificate_for_another_backend_is_rejected() {
+        Certified::admit(SimulatedBackend::new(), full_cert("native-threads", 200));
+    }
+}

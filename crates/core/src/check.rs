@@ -127,6 +127,34 @@ pub struct TracedRun {
     pub events: Vec<Event>,
     /// Simulated cycles of the run (sanity signal for reports).
     pub cycles: u64,
+    /// Bit-exact digest of the physics output (forces + energies), from
+    /// [`physics_checksum`]. The certification harness demands this be
+    /// identical across every legal interleaving of the same run.
+    pub checksum: u64,
+}
+
+/// FNV-1a over the exact bit patterns of the forces and energies. Two
+/// runs that agree here produced bit-identical physics — the currency
+/// the schedule-exploration certificate (`swcheck::schedule`) trades in.
+pub fn physics_checksum(forces: &[mdsim::Vec3], energies: &mdsim::nonbonded::NbEnergies) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+    const FNV_PRIME: u64 = 0x100000001b3;
+    let mut h = FNV_OFFSET;
+    let mut mix = |w: u64| {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for f in forces {
+        mix(f.x.to_bits() as u64);
+        mix(f.y.to_bits() as u64);
+        mix(f.z.to_bits() as u64);
+    }
+    mix(energies.lj.to_bits());
+    mix(energies.coulomb.to_bits());
+    mix(energies.virial.to_bits());
+    h
 }
 
 /// Run `variant` on a seeded water box of `n_mol` molecules under a
@@ -164,6 +192,7 @@ pub fn run_traced(variant: Variant, n_mol: usize, seed: u64) -> TracedRun {
         contract: variant.contract(),
         events,
         cycles: result.total.cycles,
+        checksum: physics_checksum(&result.forces, &result.energies),
     }
 }
 

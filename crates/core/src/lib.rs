@@ -41,7 +41,11 @@
 //!   (Fig. 11)
 //! - [`check`] — traced kernel runs + per-variant invariant contracts
 //!   for the `swcheck` checker
+//! - [`backend`] — the [`CertifiedBackend`](backend::CertifiedBackend)
+//!   contract: execution substrates carry physics only with a
+//!   race-freedom + schedule-stability certificate
 
+pub mod backend;
 pub mod check;
 pub mod cpelist;
 pub mod engine;
@@ -55,7 +59,8 @@ pub mod platforms;
 pub mod portable;
 pub mod recovery;
 
-pub use check::{run_traced, KernelContract, TracedRun, Variant};
+pub use backend::{Certificate, Certified, CertifiedBackend, KernelBackend, SimulatedBackend};
+pub use check::{physics_checksum, run_traced, KernelContract, TracedRun, Variant};
 pub use cpelist::CpePairList;
 pub use kernels::{run_ori, run_rca, run_rma, run_ustc, KernelResult, RmaConfig};
 pub use package::{PackageLayout, PackedSystem};

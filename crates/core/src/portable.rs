@@ -87,6 +87,8 @@ pub fn run_host_parallel(
     assert!(n_threads >= 1);
     let n_pkg = psys.n_packages();
     let copy_words = n_pkg * FORCE_WORDS;
+    // swrace: allow(SWC006) host-baseline wall time is the measurement,
+    // never an input to physics or trace output
     let start = std::time::Instant::now();
 
     let (slot_forces, energies) = match strategy {
@@ -201,6 +203,9 @@ fn run_atomics(
                             let mut cur = cell.load(Ordering::Relaxed);
                             loop {
                                 let new = (f32::from_bits(cur) + d).to_bits();
+                                // swrace: allow(SWC009) the Atomics rung
+                                // exists to demonstrate this drift; the
+                                // Copies rungs are the fixed-order path
                                 match cell.compare_exchange_weak(
                                     cur,
                                     new,

@@ -42,6 +42,11 @@ pub struct Ldm {
     in_use: usize,
     reservations: Vec<(&'static str, usize)>,
     stall_cycles: u64,
+    /// Trace id threading this instance's reserve/release events
+    /// together. LDM is core-private hardware, so the happens-before
+    /// checker (SWC113) demands that one ledger's events stay on one
+    /// lane unless a release→acquire edge hands it over.
+    trace_id: u64,
 }
 
 impl Default for Ldm {
@@ -64,6 +69,7 @@ impl Ldm {
             in_use: 0,
             reservations: Vec::new(),
             stall_cycles: 0,
+            trace_id: crate::trace::next_ldm_id(),
         }
     }
 
@@ -94,7 +100,7 @@ impl Ldm {
             if swprof::enabled() {
                 swprof::metrics::counter_add("ldm.overflows", 1);
             }
-            crate::trace::emit_ldm(label, bytes, self.in_use, self.capacity, false);
+            crate::trace::emit_ldm(self.trace_id, label, bytes, self.in_use, self.capacity, false);
             return Err(LdmOverflow {
                 requested: bytes,
                 in_use: self.in_use,
@@ -107,8 +113,26 @@ impl Ldm {
         if swprof::enabled() {
             swprof::metrics::gauge_max("ldm.high_water_bytes", self.in_use as u64);
         }
-        crate::trace::emit_ldm(label, bytes, self.in_use, self.capacity, true);
+        crate::trace::emit_ldm(self.trace_id, label, bytes, self.in_use, self.capacity, true);
         Ok(())
+    }
+
+    /// Release the most recent reservation made under `label`, returning
+    /// the bytes freed (`None` if no such reservation is held). Release
+    /// followed by a re-acquire of the same label on the same ledger is
+    /// an acquire/release edge in the happens-before model — the pattern
+    /// double-buffered kernels use to recycle staging space.
+    pub fn release(&mut self, label: &'static str) -> Option<usize> {
+        let idx = self.reservations.iter().rposition(|&(l, _)| l == label)?;
+        let (_, bytes) = self.reservations.remove(idx);
+        self.in_use -= bytes;
+        crate::trace::emit_ldm_release(self.trace_id, label, bytes);
+        Some(bytes)
+    }
+
+    /// Trace id threading this instance's events together.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
     }
 
     /// Reserve space for `n` values of type `T`.
@@ -182,5 +206,33 @@ mod tests {
         let mut ldm = Ldm::with_capacity(10);
         let err = ldm.reserve("big", 11).unwrap_err();
         assert!(err.to_string().contains("big"));
+    }
+
+    #[test]
+    fn release_frees_most_recent_matching_reservation() {
+        let mut ldm = Ldm::new();
+        ldm.reserve("buf", 1024).unwrap();
+        ldm.reserve("other", 512).unwrap();
+        ldm.reserve("buf", 2048).unwrap();
+        assert_eq!(ldm.release("buf"), Some(2048));
+        assert_eq!(ldm.in_use(), 1024 + 512);
+        assert_eq!(ldm.release("buf"), Some(1024));
+        assert_eq!(ldm.release("buf"), None);
+        assert_eq!(ldm.in_use(), 512);
+    }
+
+    #[test]
+    fn reserve_and_release_share_the_instance_trace_id() {
+        use crate::trace::{self, Event};
+        let s = trace::Session::begin();
+        let mut ldm = Ldm::new();
+        let id = ldm.trace_id();
+        ldm.reserve("buf", 64).unwrap();
+        ldm.release("buf").unwrap();
+        let ev = s.finish();
+        assert!(matches!(ev[0], Event::LdmReserve { ldm, .. } if ldm == id));
+        assert!(matches!(ev[1], Event::LdmRelease { ldm, .. } if ldm == id));
+        // Distinct instances get distinct ids.
+        assert_ne!(Ldm::new().trace_id(), id);
     }
 }

@@ -62,7 +62,7 @@ pub mod trace;
 pub use bitmap::BitMap;
 pub use cache::{CacheConfigError, CacheGeometry, CacheStats, ReadCache, WriteCache};
 pub use cg::{CoreGroup, CpeCtx, MpeCtx, SpawnResult};
-pub use dma::{Dir, DmaEngine};
+pub use dma::{Dir, DmaEngine, DmaHandle};
 pub use ldm::{Ldm, LdmOverflow};
 pub use perf::{Breakdown, PerfCounters};
 pub use simd::{transpose3_to_interleaved, FloatV4};

@@ -49,6 +49,10 @@ pub enum Event {
         cpe: Option<usize>,
         /// Spawn epoch current at issue time.
         epoch: u64,
+        /// Session-unique transfer id, pairing the issue with its
+        /// [`Event::DmaDone`] completion (0 when captured outside a
+        /// session).
+        id: u64,
         /// Transfer direction.
         dir: Dir,
         /// Target region for address-aware transfers
@@ -61,6 +65,41 @@ pub enum Event {
         bytes: usize,
         /// Whether the main-memory address satisfied the §3.7 128-bit rule.
         aligned: bool,
+        /// Whether the transfer completed synchronously at issue (the
+        /// blocking `transfer*` entry points). Asynchronous issues
+        /// ([`DmaEngine::issue_shared_at`](crate::dma::DmaEngine::issue_shared_at))
+        /// record `false` here and stay in flight until their
+        /// [`Event::DmaDone`] appears — the happens-before checker
+        /// treats the open window as unordered against every other lane.
+        completed: bool,
+    },
+    /// An asynchronous DMA transfer completed (its handle was awaited).
+    /// This is the *synchronization edge* the SWC112 rule certifies:
+    /// compute touching the transfer's bytes must be ordered after this
+    /// event (or before the issue), never inside the window.
+    DmaDone {
+        /// Awaiting CPE, or `None` for MPE/host code.
+        cpe: Option<usize>,
+        /// Spawn epoch current at completion time.
+        epoch: u64,
+        /// Id of the issue event being completed.
+        id: u64,
+    },
+    /// A direct (non-DMA) read of a shared region, e.g. a gld sweep over
+    /// a main-memory array. Reads participate in the happens-before race
+    /// check (a read racing a write is SWC110) but not in the
+    /// write-overlap pass.
+    SharedRead {
+        /// Reading CPE, or `None` for MPE/host code.
+        cpe: Option<usize>,
+        /// Spawn epoch current at issue time.
+        epoch: u64,
+        /// Read region.
+        region: RegionId,
+        /// First read word (f32 granularity).
+        word_lo: usize,
+        /// One past the last read word.
+        word_hi: usize,
     },
     /// A burst of gld/gst operations was issued.
     Gld {
@@ -77,6 +116,11 @@ pub enum Event {
         cpe: Option<usize>,
         /// Spawn epoch current at issue time.
         epoch: u64,
+        /// Trace id of the owning [`Ldm`](crate::ldm::Ldm) ledger
+        /// instance. LDM is core-private on the chip, so every event of
+        /// one ledger must come from one lane (or be handed over with a
+        /// release→acquire edge) — the SWC113 aliasing rule.
+        ldm: u64,
         /// Reservation label.
         label: &'static str,
         /// Bytes requested.
@@ -87,6 +131,22 @@ pub enum Event {
         capacity: usize,
         /// Whether the reservation fit.
         ok: bool,
+    },
+    /// An LDM reservation was released back to its ledger. Release of a
+    /// label followed by a re-acquire of the same label on the same
+    /// ledger is an acquire/release synchronization edge in the
+    /// happens-before model.
+    LdmRelease {
+        /// Releasing CPE, or `None` for MPE/host code.
+        cpe: Option<usize>,
+        /// Spawn epoch current at release time.
+        epoch: u64,
+        /// Trace id of the owning ledger instance.
+        ldm: u64,
+        /// Label of the released reservation.
+        label: &'static str,
+        /// Bytes returned.
+        bytes: usize,
     },
     /// A direct (non-DMA) write to a shared region, e.g. the Pkg rung's
     /// per-pair read-modify-write.
@@ -156,6 +216,43 @@ pub enum Event {
         /// Diagnostic reason (`"cpe-hang"`, `"kernel-fault"`, ...).
         reason: &'static str,
     },
+    /// The issuing lane arrived at a barrier/allreduce round (`swnet`
+    /// epoch barriers, energy allreduces). Arrivals at the same barrier
+    /// id are chained in stream order by the happens-before engine: each
+    /// arrival is ordered after every earlier arrival of the same id.
+    Barrier {
+        /// Arriving CPE, or `None` for MPE/host code.
+        cpe: Option<usize>,
+        /// Spawn epoch current at arrival time.
+        epoch: u64,
+        /// Barrier round id (fresh per round, from [`next_barrier_id`]).
+        id: u64,
+    },
+    /// A sequence-numbered channel send (`swnet::seqno::SeqChannel`).
+    /// Paired with the [`Event::ChanRecv`] of the same `(chan, seq)`,
+    /// this is the send→recv synchronization edge; retransmitted
+    /// duplicates re-use the original's number and emit no extra event.
+    ChanSend {
+        /// Sending CPE, or `None` for MPE/host code.
+        cpe: Option<usize>,
+        /// Spawn epoch current at send time.
+        epoch: u64,
+        /// Channel trace id (fresh per channel, from [`next_chan_id`]).
+        chan: u64,
+        /// Sequence number stamped on the message.
+        seq: u64,
+    },
+    /// First (and only applied) delivery of a sequence-numbered message.
+    ChanRecv {
+        /// Receiving CPE, or `None` for MPE/host code.
+        cpe: Option<usize>,
+        /// Spawn epoch current at delivery time.
+        epoch: u64,
+        /// Channel trace id.
+        chan: u64,
+        /// Sequence number applied.
+        seq: u64,
+    },
 }
 
 /// Region binding of a software cache: where its backing array sits in
@@ -172,6 +269,10 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 static EVENTS: Mutex<Vec<Event>> = Mutex::new(Vec::new());
 static EPOCH: AtomicU64 = AtomicU64::new(0);
 static NEXT_CACHE_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_LDM_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_CHAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_DMA_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_BARRIER_ID: AtomicU64 = AtomicU64::new(1);
 static SESSION: Mutex<()> = Mutex::new(());
 
 thread_local! {
@@ -213,6 +314,21 @@ pub fn next_cache_id() -> u64 {
     NEXT_CACHE_ID.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Allocate a process-unique trace id for an LDM ledger instance.
+pub fn next_ldm_id() -> u64 {
+    NEXT_LDM_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Allocate a process-unique trace id for a sequence-numbered channel.
+pub fn next_chan_id() -> u64 {
+    NEXT_CHAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Allocate a process-unique id for one barrier/allreduce round.
+pub fn next_barrier_id() -> u64 {
+    NEXT_BARRIER_ID.fetch_add(1, Ordering::Relaxed)
+}
+
 /// Open a new spawn epoch, returning its number. The epoch is mirrored
 /// into the `swprof` profiler so span timelines stay keyed to the same
 /// region numbering the race detector uses.
@@ -232,19 +348,61 @@ pub fn end_region(epoch: u64) {
     }
 }
 
-/// Record a DMA transfer (called by the DMA engine).
-pub fn emit_dma(dir: Dir, region: Option<RegionId>, byte_off: usize, bytes: usize, aligned: bool) {
+/// Record a DMA transfer (called by the DMA engine). Returns the
+/// transfer id for pairing with [`emit_dma_done`] (0 with no session —
+/// the happens-before engine ignores unknown ids).
+pub fn emit_dma(
+    dir: Dir,
+    region: Option<RegionId>,
+    byte_off: usize,
+    bytes: usize,
+    aligned: bool,
+    completed: bool,
+) -> u64 {
     if !enabled() {
-        return;
+        return 0;
     }
+    let id = NEXT_DMA_ID.fetch_add(1, Ordering::Relaxed);
     push(Event::Dma {
         cpe: current_cpe(),
         epoch: current_epoch(),
+        id,
         dir,
         region,
         byte_off,
         bytes,
         aligned,
+        completed,
+    });
+    id
+}
+
+/// Record the completion of the asynchronous DMA transfer `id` (called
+/// when its handle is awaited).
+pub fn emit_dma_done(id: u64) {
+    if !enabled() || id == 0 {
+        return;
+    }
+    push(Event::DmaDone {
+        cpe: current_cpe(),
+        epoch: current_epoch(),
+        id,
+    });
+}
+
+/// Record a direct read of `[word_lo, word_hi)` from `region` by the
+/// calling core. Kernels annotate non-DMA shared-memory reads with this
+/// so the happens-before race check sees read/write conflicts too.
+pub fn shared_read(region: RegionId, word_lo: usize, word_hi: usize) {
+    if !enabled() {
+        return;
+    }
+    push(Event::SharedRead {
+        cpe: current_cpe(),
+        epoch: current_epoch(),
+        region,
+        word_lo,
+        word_hi,
     });
 }
 
@@ -261,18 +419,80 @@ pub fn emit_gld(ops: u64) {
 }
 
 /// Record an LDM reservation attempt (called by the LDM ledger).
-pub fn emit_ldm(label: &'static str, bytes: usize, in_use_after: usize, capacity: usize, ok: bool) {
+pub fn emit_ldm(
+    ldm: u64,
+    label: &'static str,
+    bytes: usize,
+    in_use_after: usize,
+    capacity: usize,
+    ok: bool,
+) {
     if !enabled() {
         return;
     }
     push(Event::LdmReserve {
         cpe: current_cpe(),
         epoch: current_epoch(),
+        ldm,
         label,
         bytes,
         in_use_after,
         capacity,
         ok,
+    });
+}
+
+/// Record an LDM reservation release (called by the LDM ledger).
+pub fn emit_ldm_release(ldm: u64, label: &'static str, bytes: usize) {
+    if !enabled() {
+        return;
+    }
+    push(Event::LdmRelease {
+        cpe: current_cpe(),
+        epoch: current_epoch(),
+        ldm,
+        label,
+        bytes,
+    });
+}
+
+/// Record the calling lane's arrival at barrier round `id` (called by
+/// the `swnet` collectives).
+pub fn emit_barrier(id: u64) {
+    if !enabled() {
+        return;
+    }
+    push(Event::Barrier {
+        cpe: current_cpe(),
+        epoch: current_epoch(),
+        id,
+    });
+}
+
+/// Record a sequence-numbered channel send (called by
+/// `swnet::seqno::SeqChannel::transmit`).
+pub fn emit_chan_send(chan: u64, seq: u64) {
+    if !enabled() {
+        return;
+    }
+    push(Event::ChanSend {
+        cpe: current_cpe(),
+        epoch: current_epoch(),
+        chan,
+        seq,
+    });
+}
+
+/// Record the first (applied) delivery of a sequence-numbered message.
+pub fn emit_chan_recv(chan: u64, seq: u64) {
+    if !enabled() {
+        return;
+    }
+    push(Event::ChanRecv {
+        cpe: current_cpe(),
+        epoch: current_epoch(),
+        chan,
+        seq,
     });
 }
 
@@ -405,7 +625,8 @@ mod tests {
     fn session_captures_and_drains() {
         let s = Session::begin();
         emit_gld(3);
-        emit_dma(Dir::Get, Some(7), 16, 128, true);
+        let id = emit_dma(Dir::Get, Some(7), 16, 128, true, true);
+        assert_ne!(id, 0, "in-session transfers get real ids");
         let ev = s.finish();
         assert_eq!(ev.len(), 2);
         assert!(matches!(ev[0], Event::Gld { ops: 3, .. }));
@@ -416,6 +637,7 @@ mod tests {
                 byte_off: 16,
                 bytes: 128,
                 aligned: true,
+                completed: true,
                 ..
             }
         ));
@@ -474,5 +696,74 @@ mod tests {
         let a = next_cache_id();
         let b = next_cache_id();
         assert_ne!(a, b);
+        assert_ne!(next_ldm_id(), next_ldm_id());
+        assert_ne!(next_chan_id(), next_chan_id());
+        assert_ne!(next_barrier_id(), next_barrier_id());
+    }
+
+    #[test]
+    fn async_dma_pairs_issue_with_done() {
+        let s = Session::begin();
+        let id = emit_dma(Dir::Put, Some(2), 0, 64, true, false);
+        emit_dma_done(id);
+        let ev = s.finish();
+        assert!(matches!(
+            ev[0],
+            Event::Dma {
+                completed: false,
+                ..
+            }
+        ));
+        assert_eq!(
+            ev[1],
+            Event::DmaDone {
+                cpe: None,
+                epoch: current_epoch(),
+                id,
+            }
+        );
+    }
+
+    #[test]
+    fn dma_done_with_unknown_id_is_dropped() {
+        let s = Session::begin();
+        // Id 0 means "issued outside a session": no pairing possible.
+        emit_dma_done(0);
+        assert!(s.finish().is_empty());
+    }
+
+    #[test]
+    fn sync_and_channel_events_capture_context() {
+        let s = Session::begin();
+        set_current_cpe(Some(9));
+        shared_read(4, 10, 20);
+        emit_barrier(77);
+        emit_chan_send(5, 0);
+        emit_chan_recv(5, 0);
+        emit_ldm_release(3, "buf", 256);
+        set_current_cpe(None);
+        let ev = s.finish();
+        assert!(matches!(
+            ev[0],
+            Event::SharedRead {
+                cpe: Some(9),
+                region: 4,
+                word_lo: 10,
+                word_hi: 20,
+                ..
+            }
+        ));
+        assert!(matches!(ev[1], Event::Barrier { id: 77, .. }));
+        assert!(matches!(ev[2], Event::ChanSend { chan: 5, seq: 0, .. }));
+        assert!(matches!(ev[3], Event::ChanRecv { chan: 5, seq: 0, .. }));
+        assert!(matches!(
+            ev[4],
+            Event::LdmRelease {
+                ldm: 3,
+                label: "buf",
+                bytes: 256,
+                ..
+            }
+        ));
     }
 }

@@ -1,8 +1,8 @@
-//! Seeded-violation fixtures: six event streams, each produced by
+//! Seeded-violation fixtures: eight event streams, each produced by
 //! driving the *real* substrate primitives into a known invariant
 //! violation, so `swcheck --fixtures` verifies the whole detection
-//! chain — instrumentation hooks, event plumbing, and both passes —
-//! not just the pass logic over hand-written events.
+//! chain — instrumentation hooks, event plumbing, and all three passes
+//! — not just the pass logic over hand-written events.
 //!
 //! Each fixture captures its stream under a live [`trace::Session`],
 //! exactly like a traced kernel run, and names the one invariant id the
@@ -28,9 +28,10 @@ pub struct Fixture {
     pub events: Vec<Event>,
 }
 
-/// Build all six fixtures. Each capture takes the global session lock,
-/// so this must not be called while another session is live on the same
-/// thread (it would self-deadlock by design — sessions don't nest).
+/// Build all eight fixtures. Each capture takes the global session
+/// lock, so this must not be called while another session is live on
+/// the same thread (it would self-deadlock by design — sessions don't
+/// nest).
 pub fn all() -> Vec<Fixture> {
     vec![
         cross_cpe_write_race(),
@@ -39,6 +40,8 @@ pub fn all() -> Vec<Fixture> {
         misaligned_dma(),
         ldm_over_budget(),
         unclean_abort(),
+        unsynchronized_reduce(),
+        open_dma_window(),
     ]
 }
 
@@ -163,6 +166,64 @@ fn unclean_abort() -> Fixture {
     }
 }
 
+/// A CPE marks a Bit-Map line and a *different* CPE reduces it inside
+/// the same spawn epoch: the simulator happens to run them in order,
+/// but no synchronization edge orders them, so a native backend could
+/// reduce a line whose marks are still being written (SWC111). The
+/// happens-before evidence carries both sites.
+fn unsynchronized_reduce() -> Fixture {
+    let session = trace::Session::begin();
+    let geo = CacheGeometry::paper_default(12);
+    let mut copy = vec![0.0f32; 64 * 12];
+    let mut perf = PerfCounters::new();
+    let epoch = trace::begin_region(2);
+    trace::set_current_cpe(Some(0));
+    let mut wc = WriteCache::with_marks(geo, 64);
+    wc.update(&mut perf, &mut copy, 0, &[1.0; 12]); // marks line 0
+    wc.flush(&mut perf, &mut copy);
+    // CPE 1 consumes the line without waiting for the epoch to join.
+    trace::set_current_cpe(Some(1));
+    trace::reduce_line(wc.trace_id(), 0);
+    trace::set_current_cpe(None);
+    trace::end_region(epoch);
+    Fixture {
+        name: "unsynchronized Bit-Map reduce",
+        expected: "SWC111",
+        contract: KernelContract::strict("fixture:unsynced-reduce"),
+        events: session.finish(),
+    }
+}
+
+/// A CPE issues an asynchronous DMA Get, hands off to a peer over a
+/// sequence-numbered channel, and the peer writes the transferred bytes
+/// *before* the handle is awaited. The channel edge orders the write
+/// after the issue — so this is not an SWC110 race — but it lands
+/// inside the open transfer window, exactly the overlap a completion
+/// edge exists to forbid (SWC112).
+fn open_dma_window() -> Fixture {
+    let session = trace::Session::begin();
+    let mut perf = PerfCounters::new();
+    let chan = trace::next_chan_id();
+    let epoch = trace::begin_region(2);
+    trace::set_current_cpe(Some(0));
+    let handle = DmaEngine::issue_shared_at(&mut perf, Dir::Get, 8, 0, 64);
+    trace::emit_chan_send(chan, 0);
+    trace::set_current_cpe(Some(1));
+    trace::emit_chan_recv(chan, 0);
+    // Words [4, 8) sit inside the in-flight Get of words [0, 16).
+    trace::shared_write(8, 4, 8);
+    trace::set_current_cpe(Some(0));
+    handle.wait(); // too late: the overlap already happened
+    trace::set_current_cpe(None);
+    trace::end_region(epoch);
+    Fixture {
+        name: "access inside an open async-DMA window",
+        expected: "SWC112",
+        contract: KernelContract::strict("fixture:dma-window"),
+        events: session.finish(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,10 +251,10 @@ mod tests {
     #[test]
     fn fixture_streams_are_nonempty_and_distinctly_seeded() {
         let fixtures = all();
-        assert_eq!(fixtures.len(), 6);
+        assert_eq!(fixtures.len(), 8);
         let mut expected: Vec<_> = fixtures.iter().map(|f| f.expected).collect();
         expected.dedup();
-        assert_eq!(expected.len(), 6, "each fixture seeds a distinct invariant");
+        assert_eq!(expected.len(), 8, "each fixture seeds a distinct invariant");
         for f in &fixtures {
             assert!(
                 !f.events.is_empty(),

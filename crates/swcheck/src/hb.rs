@@ -1,0 +1,928 @@
+//! Happens-before certification: a vector-clock race engine over the
+//! substrate event stream (SWC110–SWC113).
+//!
+//! The [`dynamic`](crate::dynamic) pass scopes "concurrent" to "same
+//! spawn epoch" — sound for the simulator's fork/join structure, but
+//! blind to the *synchronization edges* a native backend would need:
+//! DMA completion, LDM release→acquire handoff, Bit-Map mark→reduce
+//! pairing, channel send→recv, barrier arrivals. This pass replays the
+//! stream under the full happens-before model:
+//!
+//! - **Lanes.** MPE/host code is lane 0; CPE `c` is lane `c + 1`. Every
+//!   event advances its lane's component of a vector clock.
+//! - **Fork/join.** `SpawnBegin` forks the MPE clock into each CPE lane
+//!   at its first event of the epoch; `SpawnEnd` joins every
+//!   participating lane back into the MPE.
+//! - **Edges.** `DmaDone` joins its issue; `LdmReserve` joins the last
+//!   `LdmRelease` of the same `(ledger, label)`; `ReduceLine` joins its
+//!   matched `MarkSet`; `ChanRecv` joins its `ChanSend`; `Barrier`
+//!   arrivals of one round chain-join in stream order.
+//!
+//! Two accesses to overlapping words of one region race (**SWC110**)
+//! when they come from different lanes, at least one writes, and
+//! neither happens-before the other. Three further rules certify the
+//! synchronization protocols themselves: a `ReduceLine` whose `MarkSet`
+//! is not ordered before it (**SWC111**), an access landing inside an
+//! open asynchronous-DMA window from another lane (**SWC112**), and one
+//! LDM ledger touched from two lanes without a release→acquire handoff
+//! (**SWC113**). Every finding carries dual-access evidence: both
+//! sites, both lanes, both stream positions.
+
+use std::collections::BTreeMap;
+
+use sw26010::dma::Dir;
+use sw26010::trace::Event;
+use swgmx::check::KernelContract;
+
+use crate::{Severity, Violation};
+
+/// Lane count: the MPE plus the 64 CPEs of one core group.
+pub const MAX_LANES: usize = 65;
+
+fn lane_of(cpe: Option<usize>) -> usize {
+    match cpe {
+        Some(c) => c + 1,
+        None => 0,
+    }
+}
+
+/// Human name of a lane (`"MPE"`, `"CPE 7"`).
+pub fn lane_name(lane: usize) -> String {
+    if lane == 0 {
+        "MPE".to_string()
+    } else {
+        format!("CPE {}", lane - 1)
+    }
+}
+
+/// One side of a dual-access finding: where in the stream, on which
+/// lane, doing what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessSite {
+    /// Lane of the access (0 = MPE, `n` = CPE `n - 1`).
+    pub lane: usize,
+    /// Spawn epoch the access occurred in.
+    pub epoch: u64,
+    /// Position of the access in the event stream.
+    pub index: usize,
+    /// What the access was ("shared write region 2 words [0,12)", ...).
+    pub what: String,
+}
+
+impl AccessSite {
+    /// Human name of the accessing lane.
+    pub fn lane_name(&self) -> String {
+        lane_name(self.lane)
+    }
+}
+
+impl std::fmt::Display for AccessSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {} at event {} (epoch {})",
+            self.lane_name(),
+            self.what,
+            self.index,
+            self.epoch
+        )
+    }
+}
+
+/// The two unordered sites of one happens-before finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DualAccess {
+    /// Earlier site (by stream position).
+    pub first: AccessSite,
+    /// Later site.
+    pub second: AccessSite,
+}
+
+impl std::fmt::Display for DualAccess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} vs {}", self.first, self.second)
+    }
+}
+
+/// A vector-clock timestamp: the issuing lane, its clock value at the
+/// event, and the full clock snapshot after all incoming joins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Snap {
+    lane: usize,
+    ts: u32,
+    vc: Vec<u32>,
+}
+
+/// `a` happens-before `b`: `b`'s snapshot has seen `a`'s lane step.
+fn hb(a: &Snap, b: &Snap) -> bool {
+    a.ts <= b.vc.get(a.lane).copied().unwrap_or(0)
+}
+
+fn unordered(a: &Snap, b: &Snap) -> bool {
+    !hb(a, b) && !hb(b, a)
+}
+
+/// One shared-memory access (direct or via DMA), with its timestamp.
+#[derive(Debug, Clone)]
+struct Access {
+    snap: Snap,
+    site: AccessSite,
+    lo: usize,
+    hi: usize,
+    write: bool,
+}
+
+/// One asynchronous DMA window: open from issue until its `DmaDone`
+/// (or forever, if the handle was never awaited).
+#[derive(Debug, Clone)]
+struct Window {
+    dir: Dir,
+    region: u32,
+    lo: usize,
+    hi: usize,
+    issue_snap: Snap,
+    issue_site: AccessSite,
+    done: Option<Snap>,
+}
+
+fn words(byte_off: usize, bytes: usize) -> (usize, usize) {
+    (byte_off / 4, (byte_off + bytes).div_ceil(4))
+}
+
+/// The full happens-before pass: SWC110–SWC113 over one event stream.
+pub fn detect(contract: &KernelContract, events: &[Event]) -> Vec<Violation> {
+    let mut vcs: Vec<Vec<u32>> = vec![vec![0; MAX_LANES]; MAX_LANES];
+    // Per-epoch MPE snapshot at SpawnBegin, forked into CPE lanes.
+    let mut fork_vc: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+    // Latest epoch each CPE lane has forked from.
+    let mut joined_epoch: Vec<Option<u64>> = vec![None; MAX_LANES];
+    // CPE lanes seen in each still-open epoch (joined at SpawnEnd).
+    let mut participants: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    // Pending release snapshot per (ledger, label): the acquire edge.
+    let mut last_release: BTreeMap<(u64, &'static str), Snap> = BTreeMap::new();
+    // Last event per LDM ledger, for the SWC113 aliasing check.
+    let mut ldm_last: BTreeMap<u64, (Snap, AccessSite)> = BTreeMap::new();
+    // Last arrival per barrier round: arrivals chain-join.
+    let mut barrier_last: BTreeMap<u64, Snap> = BTreeMap::new();
+    // Send snapshot per (channel, seq): the recv edge.
+    let mut chan_sends: BTreeMap<(u64, u64), Snap> = BTreeMap::new();
+    // Async DMA windows by transfer id.
+    let mut windows: BTreeMap<u64, Window> = BTreeMap::new();
+    // Mark / reduce sites per (cache, line), matched k-th to k-th.
+    let mut marks: BTreeMap<(u64, usize), Vec<(Snap, AccessSite)>> = BTreeMap::new();
+    let mut reduces: BTreeMap<(u64, usize), Vec<(Snap, AccessSite)>> = BTreeMap::new();
+    // Shared-memory accesses per region, split by kind.
+    let mut writes: BTreeMap<u32, Vec<Access>> = BTreeMap::new();
+    let mut reads: BTreeMap<u32, Vec<Access>> = BTreeMap::new();
+
+    let mut ldm_findings: Vec<DualAccess> = Vec::new();
+
+    for (index, ev) in events.iter().enumerate() {
+        let lane = lane_of(event_cpe(ev));
+        // Fork edge: a CPE lane's first event in an epoch inherits the
+        // MPE clock captured at that epoch's SpawnBegin.
+        if lane != 0 {
+            let epoch = event_epoch(ev);
+            if joined_epoch[lane] != Some(epoch) {
+                joined_epoch[lane] = Some(epoch);
+                if let Some(fork) = fork_vc.get(&epoch) {
+                    join(&mut vcs, lane, fork);
+                }
+                participants.entry(epoch).or_default().push(lane);
+            }
+        }
+        // Incoming synchronization edges, applied before the step.
+        match ev {
+            Event::SpawnEnd { epoch } => {
+                for l in participants.remove(epoch).unwrap_or_default() {
+                    let from = vcs[l].clone();
+                    join(&mut vcs, 0, &from);
+                }
+            }
+            Event::DmaDone { id, .. } => {
+                if let Some(w) = windows.get(id) {
+                    let from = w.issue_snap.vc.clone();
+                    join(&mut vcs, lane, &from);
+                }
+            }
+            Event::LdmReserve { ldm, label, .. } => {
+                // The acquire edge keys on (instance, label) so
+                // unrelated labels don't fabricate ordering.
+                if let Some(rel) = last_release.get(&(*ldm, label)) {
+                    let from = rel.vc.clone();
+                    join(&mut vcs, lane, &from);
+                }
+            }
+            Event::ChanRecv { chan, seq, .. } => {
+                if let Some(send) = chan_sends.get(&(*chan, *seq)) {
+                    let from = send.vc.clone();
+                    join(&mut vcs, lane, &from);
+                }
+            }
+            Event::Barrier { id, .. } => {
+                if let Some(prev) = barrier_last.get(id) {
+                    let from = prev.vc.clone();
+                    join(&mut vcs, lane, &from);
+                }
+            }
+            _ => {}
+        }
+        // The step: every event advances its lane's own component.
+        vcs[lane][lane] += 1;
+        let snap = Snap {
+            lane,
+            ts: vcs[lane][lane],
+            vc: vcs[lane].clone(),
+        };
+        let site = |what: String| AccessSite {
+            lane,
+            epoch: event_epoch(ev),
+            index,
+            what,
+        };
+        // Outgoing state: snapshots other events will join or check.
+        match ev {
+            Event::SpawnBegin { epoch, .. } => {
+                fork_vc.insert(*epoch, snap.vc.clone());
+            }
+            Event::Dma {
+                id,
+                dir,
+                region: Some(region),
+                byte_off,
+                bytes,
+                completed,
+                ..
+            } => {
+                let (lo, hi) = words(*byte_off, *bytes);
+                if *completed {
+                    // Synchronous Put already emits its own SharedWrite;
+                    // only the Get's read participates here.
+                    if *dir == Dir::Get {
+                        reads.entry(*region).or_default().push(Access {
+                            snap: snap.clone(),
+                            site: site(format!("DMA Get region {region} words [{lo},{hi})")),
+                            lo,
+                            hi,
+                            write: false,
+                        });
+                    }
+                } else {
+                    windows.insert(
+                        *id,
+                        Window {
+                            dir: *dir,
+                            region: *region,
+                            lo,
+                            hi,
+                            issue_snap: snap.clone(),
+                            issue_site: site(format!(
+                                "async DMA {dir:?} issue region {region} words [{lo},{hi})"
+                            )),
+                            done: None,
+                        },
+                    );
+                }
+            }
+            Event::DmaDone { id, .. } => {
+                if let Some(w) = windows.get_mut(id) {
+                    w.done = Some(snap.clone());
+                }
+            }
+            Event::SharedWrite {
+                region,
+                word_lo,
+                word_hi,
+                ..
+            } => {
+                writes.entry(*region).or_default().push(Access {
+                    snap: snap.clone(),
+                    site: site(format!(
+                        "shared write region {region} words [{word_lo},{word_hi})"
+                    )),
+                    lo: *word_lo,
+                    hi: *word_hi,
+                    write: true,
+                });
+            }
+            Event::SharedRead {
+                region,
+                word_lo,
+                word_hi,
+                ..
+            } => {
+                reads.entry(*region).or_default().push(Access {
+                    snap: snap.clone(),
+                    site: site(format!(
+                        "shared read region {region} words [{word_lo},{word_hi})"
+                    )),
+                    lo: *word_lo,
+                    hi: *word_hi,
+                    write: false,
+                });
+            }
+            Event::LdmReserve {
+                ldm, label, bytes, ..
+            } => {
+                let s = site(format!("LDM reserve `{label}` ({bytes} B, ledger {ldm})"));
+                check_ldm_lane(&mut ldm_findings, &mut ldm_last, *ldm, &snap, s);
+            }
+            Event::LdmRelease {
+                ldm, label, bytes, ..
+            } => {
+                let s = site(format!("LDM release `{label}` ({bytes} B, ledger {ldm})"));
+                check_ldm_lane(&mut ldm_findings, &mut ldm_last, *ldm, &snap, s);
+                last_release.insert((*ldm, label), snap.clone());
+            }
+            Event::ChanSend { chan, seq, .. } => {
+                chan_sends.insert((*chan, *seq), snap.clone());
+            }
+            Event::Barrier { id, .. } => {
+                barrier_last.insert(*id, snap.clone());
+            }
+            Event::MarkSet { cache, line, .. } => {
+                let s = site(format!("Bit-Map mark line {line} (cache {cache})"));
+                marks.entry((*cache, *line)).or_default().push((snap, s));
+            }
+            Event::ReduceLine { cache, line, .. } => {
+                // Check-then-join: the snapshot recorded for the SWC111
+                // check predates the join, so an unsynchronized reduce
+                // is still caught — but the join happens regardless, so
+                // one missing edge doesn't cascade into downstream
+                // false positives.
+                let s = site(format!("reduce line {line} (cache {cache})"));
+                let k = reduces.get(&(*cache, *line)).map_or(0, Vec::len);
+                reduces.entry((*cache, *line)).or_default().push((snap, s));
+                if let Some((m_snap, _)) = marks.get(&(*cache, *line)).and_then(|m| m.get(k)) {
+                    let from = m_snap.vc.clone();
+                    join(&mut vcs, lane, &from);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = Vec::new();
+
+    // SWC110: overlapping unordered conflicting accesses, per region.
+    for (&region, ws) in &writes {
+        let rs = reads.get(&region).map(Vec::as_slice).unwrap_or(&[]);
+        let racing = race_pairs(ws, rs);
+        if let Some(first) = racing.first() {
+            out.push(
+                Violation::new(
+                    "SWC110",
+                    contract.name,
+                    Severity::Error,
+                    format!(
+                        "{} happens-before race(s) on region {region} (first: {first})",
+                        racing.len()
+                    ),
+                )
+                .with_evidence(first.clone()),
+            );
+        }
+    }
+
+    // SWC111: a reduce not ordered after its matched mark.
+    let mut unsynced_reduces: Vec<DualAccess> = Vec::new();
+    for (key, rl) in &reduces {
+        let ml = marks.get(key).map(Vec::as_slice).unwrap_or(&[]);
+        for (k, (r_snap, r_site)) in rl.iter().enumerate() {
+            // k-th reduce of a line pairs with its k-th mark; a reduce
+            // with no mark at all is SWC104's (set-based) finding.
+            let Some((m_snap, m_site)) = ml.get(k) else {
+                continue;
+            };
+            if !hb(m_snap, r_snap) {
+                unsynced_reduces.push(ordered_pair(m_site.clone(), r_site.clone()));
+            }
+        }
+    }
+    if let Some(first) = unsynced_reduces.first() {
+        out.push(
+            Violation::new(
+                "SWC111",
+                contract.name,
+                Severity::Error,
+                format!(
+                    "{} Bit-Map reduce(s) not ordered after their mark ({first})",
+                    unsynced_reduces.len()
+                ),
+            )
+            .with_evidence(first.clone()),
+        );
+    }
+
+    // SWC112: accesses landing inside an open async-DMA window.
+    let mut in_window: Vec<DualAccess> = Vec::new();
+    for w in windows.values() {
+        let ws = writes.get(&w.region).map(Vec::as_slice).unwrap_or(&[]);
+        let rs = reads.get(&w.region).map(Vec::as_slice).unwrap_or(&[]);
+        // A Get window conflicts with writes; a Put window with both.
+        let conflicting: Vec<&Access> = match w.dir {
+            Dir::Get => ws.iter().collect(),
+            Dir::Put => ws.iter().chain(rs.iter()).collect(),
+        };
+        for a in conflicting {
+            if a.lane() == w.issue_snap.lane || a.hi <= w.lo || w.hi <= a.lo {
+                continue;
+            }
+            let before = hb(&a.snap, &w.issue_snap);
+            let after = w.done.as_ref().is_some_and(|d| hb(d, &a.snap));
+            if !before && !after {
+                in_window.push(ordered_pair(w.issue_site.clone(), a.site.clone()));
+            }
+        }
+    }
+    if let Some(first) = in_window.first() {
+        out.push(
+            Violation::new(
+                "SWC112",
+                contract.name,
+                Severity::Error,
+                format!(
+                    "{} access(es) inside an async DMA window without a \
+                     completion edge ({first})",
+                    in_window.len()
+                ),
+            )
+            .with_evidence(first.clone()),
+        );
+    }
+
+    // SWC113: one LDM ledger on two lanes without a handoff.
+    if let Some(first) = ldm_findings.first() {
+        out.push(
+            Violation::new(
+                "SWC113",
+                contract.name,
+                Severity::Error,
+                format!(
+                    "{} cross-lane LDM ledger event(s) without a \
+                     release→acquire handoff ({first})",
+                    ldm_findings.len()
+                ),
+            )
+            .with_evidence(first.clone()),
+        );
+    }
+
+    out
+}
+
+impl Access {
+    fn lane(&self) -> usize {
+        self.snap.lane
+    }
+}
+
+/// Put the two sites of a finding in stream order.
+fn ordered_pair(a: AccessSite, b: AccessSite) -> DualAccess {
+    if a.index <= b.index {
+        DualAccess {
+            first: a,
+            second: b,
+        }
+    } else {
+        DualAccess {
+            first: b,
+            second: a,
+        }
+    }
+}
+
+fn join(vcs: &mut [Vec<u32>], lane: usize, from: &[u32]) {
+    for (mine, theirs) in vcs[lane].iter_mut().zip(from) {
+        *mine = (*mine).max(*theirs);
+    }
+}
+
+/// Lane of an event (0 = MPE, `n` = CPE `n - 1`).
+pub fn event_lane(ev: &Event) -> usize {
+    lane_of(event_cpe(ev))
+}
+
+/// Spawn epoch an event carries (0 for `Phase` events).
+pub fn event_epoch_of(ev: &Event) -> u64 {
+    event_epoch(ev)
+}
+
+fn event_cpe(ev: &Event) -> Option<usize> {
+    match ev {
+        Event::SpawnBegin { .. } | Event::SpawnEnd { .. } | Event::Phase { .. } => None,
+        Event::Dma { cpe, .. }
+        | Event::DmaDone { cpe, .. }
+        | Event::SharedRead { cpe, .. }
+        | Event::Gld { cpe, .. }
+        | Event::LdmReserve { cpe, .. }
+        | Event::LdmRelease { cpe, .. }
+        | Event::SharedWrite { cpe, .. }
+        | Event::MarkSet { cpe, .. }
+        | Event::ReduceLine { cpe, .. }
+        | Event::WcDropDirty { cpe, .. }
+        | Event::Abort { cpe, .. }
+        | Event::Barrier { cpe, .. }
+        | Event::ChanSend { cpe, .. }
+        | Event::ChanRecv { cpe, .. } => *cpe,
+    }
+}
+
+fn event_epoch(ev: &Event) -> u64 {
+    match ev {
+        Event::Phase { .. } => 0,
+        Event::SpawnBegin { epoch, .. }
+        | Event::SpawnEnd { epoch }
+        | Event::Dma { epoch, .. }
+        | Event::DmaDone { epoch, .. }
+        | Event::SharedRead { epoch, .. }
+        | Event::Gld { epoch, .. }
+        | Event::LdmReserve { epoch, .. }
+        | Event::LdmRelease { epoch, .. }
+        | Event::SharedWrite { epoch, .. }
+        | Event::MarkSet { epoch, .. }
+        | Event::ReduceLine { epoch, .. }
+        | Event::WcDropDirty { epoch, .. }
+        | Event::Abort { epoch, .. }
+        | Event::Barrier { epoch, .. }
+        | Event::ChanSend { epoch, .. }
+        | Event::ChanRecv { epoch, .. } => *epoch,
+    }
+}
+
+/// SWC113 check for one ledger event: flag it when the previous event
+/// of the same ledger came from a different lane with no ordering (the
+/// acquire join, applied before the step, makes legal handoffs HB).
+fn check_ldm_lane(
+    findings: &mut Vec<DualAccess>,
+    ldm_last: &mut BTreeMap<u64, (Snap, AccessSite)>,
+    ldm: u64,
+    snap: &Snap,
+    site: AccessSite,
+) {
+    if let Some((prev_snap, prev_site)) = ldm_last.get(&ldm) {
+        if prev_snap.lane != snap.lane && !hb(prev_snap, snap) {
+            findings.push(ordered_pair(prev_site.clone(), site.clone()));
+        }
+    }
+    ldm_last.insert(ldm, (snap.clone(), site));
+}
+
+/// All unordered conflicting overlapping pairs among `writes` (against
+/// each other) and `writes × reads`. Read/read pairs never conflict and
+/// are never enumerated, which keeps the sweep linear on read-heavy
+/// regions (every CPE re-reading the same position packages).
+fn race_pairs(writes: &[Access], reads: &[Access]) -> Vec<DualAccess> {
+    let mut out = Vec::new();
+    // Write-write: interval sweep over writes sorted by start word.
+    let mut ws: Vec<&Access> = writes.iter().collect();
+    ws.sort_by_key(|a| (a.lo, a.site.index));
+    let mut active: Vec<&Access> = Vec::new();
+    for a in &ws {
+        active.retain(|b| b.hi > a.lo);
+        for b in &active {
+            racy(&mut out, a, b);
+        }
+        active.push(a);
+    }
+    // Write-read: merged sweep, comparing only across kinds.
+    let mut all: Vec<&Access> = writes.iter().chain(reads.iter()).collect();
+    all.sort_by_key(|a| (a.lo, a.site.index));
+    let mut active_w: Vec<&Access> = Vec::new();
+    let mut active_r: Vec<&Access> = Vec::new();
+    for a in &all {
+        active_w.retain(|b| b.hi > a.lo);
+        active_r.retain(|b| b.hi > a.lo);
+        for b in if a.write { &active_r } else { &active_w } {
+            racy(&mut out, a, b);
+        }
+        if a.write {
+            active_w.push(a);
+        } else {
+            active_r.push(a);
+        }
+    }
+    out.sort_by_key(|d| (d.second.index, d.first.index));
+    out
+}
+
+fn racy(out: &mut Vec<DualAccess>, a: &Access, b: &Access) {
+    if a.lane() != b.lane() && unordered(&a.snap, &b.snap) {
+        out.push(ordered_pair(a.site.clone(), b.site.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw26010::trace::{self, Event};
+
+    fn strict() -> KernelContract {
+        KernelContract::strict("hbtest")
+    }
+
+    fn ids(v: &[Violation]) -> Vec<&'static str> {
+        v.iter().map(|v| v.id).collect()
+    }
+
+    fn w(cpe: usize, epoch: u64, region: u32, lo: usize, hi: usize) -> Event {
+        Event::SharedWrite {
+            cpe: Some(cpe),
+            epoch,
+            region,
+            word_lo: lo,
+            word_hi: hi,
+        }
+    }
+
+    fn begin(epoch: u64) -> Event {
+        Event::SpawnBegin { epoch, n_cpes: 64 }
+    }
+
+    fn end(epoch: u64) -> Event {
+        Event::SpawnEnd { epoch }
+    }
+
+    #[test]
+    fn overlapping_unordered_writes_race() {
+        let ev = [begin(1), w(0, 1, 5, 0, 16), w(1, 1, 5, 8, 24), end(1)];
+        let v = detect(&strict(), &ev);
+        assert_eq!(ids(&v), ["SWC110"]);
+        let d = v[0].evidence.as_ref().expect("dual evidence");
+        assert_eq!(d.first.lane, 1); // CPE 0
+        assert_eq!(d.second.lane, 2); // CPE 1
+        assert!(v[0].message.contains("region 5"));
+    }
+
+    #[test]
+    fn disjoint_or_sequenced_writes_do_not_race() {
+        // Disjoint words, same epoch.
+        let ev = [begin(1), w(0, 1, 5, 0, 16), w(1, 1, 5, 16, 32), end(1)];
+        assert!(detect(&strict(), &ev).is_empty());
+        // Overlapping words, but in different epochs: the join+fork
+        // through the MPE orders them.
+        let ev = [
+            begin(1),
+            w(0, 1, 5, 0, 16),
+            end(1),
+            begin(2),
+            w(1, 2, 5, 8, 24),
+            end(2),
+        ];
+        assert!(detect(&strict(), &ev).is_empty());
+    }
+
+    #[test]
+    fn read_racing_a_write_is_caught_but_reads_never_conflict() {
+        let r = |cpe: usize, lo: usize, hi: usize| Event::SharedRead {
+            cpe: Some(cpe),
+            epoch: 1,
+            region: 5,
+            word_lo: lo,
+            word_hi: hi,
+        };
+        let ev = [begin(1), w(0, 1, 5, 0, 16), r(1, 8, 24), end(1)];
+        assert_eq!(ids(&detect(&strict(), &ev)), ["SWC110"]);
+        let ev = [begin(1), r(0, 0, 16), r(1, 8, 24), end(1)];
+        assert!(detect(&strict(), &ev).is_empty());
+    }
+
+    #[test]
+    fn channel_edge_orders_across_lanes() {
+        let ev = [
+            begin(1),
+            w(0, 1, 5, 0, 16),
+            Event::ChanSend {
+                cpe: Some(0),
+                epoch: 1,
+                chan: 9,
+                seq: 0,
+            },
+            Event::ChanRecv {
+                cpe: Some(1),
+                epoch: 1,
+                chan: 9,
+                seq: 0,
+            },
+            w(1, 1, 5, 8, 24),
+            end(1),
+        ];
+        assert!(detect(&strict(), &ev).is_empty());
+    }
+
+    #[test]
+    fn barrier_arrivals_chain_join() {
+        let b = |cpe: usize| Event::Barrier {
+            cpe: Some(cpe),
+            epoch: 1,
+            id: 3,
+        };
+        let ev = [
+            begin(1),
+            w(0, 1, 5, 0, 16),
+            b(0),
+            b(1),
+            w(1, 1, 5, 8, 24),
+            end(1),
+        ];
+        assert!(detect(&strict(), &ev).is_empty());
+    }
+
+    #[test]
+    fn cross_lane_reduce_without_order_is_swc111() {
+        let ev = [
+            begin(1),
+            Event::MarkSet {
+                cpe: Some(0),
+                epoch: 1,
+                cache: 7,
+                line: 4,
+            },
+            Event::ReduceLine {
+                cpe: Some(1),
+                epoch: 1,
+                cache: 7,
+                line: 4,
+            },
+            end(1),
+        ];
+        let v = detect(&strict(), &ev);
+        assert_eq!(ids(&v), ["SWC111"]);
+        // Same pair across an epoch boundary: ordered, clean.
+        let ev = [
+            begin(1),
+            Event::MarkSet {
+                cpe: Some(0),
+                epoch: 1,
+                cache: 7,
+                line: 4,
+            },
+            end(1),
+            begin(2),
+            Event::ReduceLine {
+                cpe: Some(1),
+                epoch: 2,
+                cache: 7,
+                line: 4,
+            },
+            end(2),
+        ];
+        assert!(detect(&strict(), &ev).is_empty());
+    }
+
+    #[test]
+    fn reduce_join_orders_downstream_accesses() {
+        // CPE 1's write after consuming CPE 0's mark is ordered after
+        // everything CPE 0 did before the mark — even in one epoch.
+        let ev = [
+            begin(1),
+            w(0, 1, 5, 0, 16),
+            Event::MarkSet {
+                cpe: Some(0),
+                epoch: 1,
+                cache: 7,
+                line: 4,
+            },
+            end(1),
+            begin(2),
+            Event::ReduceLine {
+                cpe: Some(1),
+                epoch: 2,
+                cache: 7,
+                line: 4,
+            },
+            w(1, 2, 5, 8, 24),
+            end(2),
+        ];
+        assert!(detect(&strict(), &ev).is_empty());
+    }
+
+    #[test]
+    fn access_inside_async_window_is_swc112() {
+        let issue = Event::Dma {
+            cpe: Some(0),
+            epoch: 1,
+            id: 42,
+            dir: Dir::Get,
+            region: Some(5),
+            byte_off: 0,
+            bytes: 64, // words [0, 16)
+            aligned: true,
+            completed: false,
+        };
+        let done = Event::DmaDone {
+            cpe: Some(0),
+            epoch: 1,
+            id: 42,
+        };
+        let send = Event::ChanSend {
+            cpe: Some(0),
+            epoch: 1,
+            chan: 9,
+            seq: 0,
+        };
+        let recv = Event::ChanRecv {
+            cpe: Some(1),
+            epoch: 1,
+            chan: 9,
+            seq: 0,
+        };
+        // The channel edge orders CPE 1's write after the issue — no
+        // SWC110 race — but it lands inside the open window: SWC112.
+        let ev = [
+            begin(1),
+            issue.clone(),
+            send.clone(),
+            recv.clone(),
+            w(1, 1, 5, 8, 24),
+            done.clone(),
+            end(1),
+        ];
+        let v = detect(&strict(), &ev);
+        assert_eq!(ids(&v), ["SWC112"]);
+        assert!(v[0].evidence.is_some());
+        // Writing after the wait + a return edge is clean. CPE 0 waits,
+        // then sends; CPE 1 writes only after the recv.
+        let ev = [
+            begin(1),
+            issue,
+            done,
+            send,
+            recv,
+            w(1, 1, 5, 8, 24),
+            end(1),
+        ];
+        assert!(detect(&strict(), &ev).is_empty());
+    }
+
+    #[test]
+    fn never_awaited_window_flags_any_unordered_overlap() {
+        let issue = Event::Dma {
+            cpe: Some(0),
+            epoch: 1,
+            id: 43,
+            dir: Dir::Put,
+            region: Some(5),
+            byte_off: 0,
+            bytes: 64,
+            aligned: true,
+            completed: false,
+        };
+        let read = Event::SharedRead {
+            cpe: Some(1),
+            epoch: 1,
+            region: 5,
+            word_lo: 0,
+            word_hi: 4,
+        };
+        let ev = [begin(1), issue, read, end(1)];
+        let v = detect(&strict(), &ev);
+        assert!(ids(&v).contains(&"SWC112"));
+    }
+
+    #[test]
+    fn ldm_ledger_on_two_lanes_is_swc113_unless_handed_over() {
+        let reserve = |cpe: usize| Event::LdmReserve {
+            cpe: Some(cpe),
+            epoch: 1,
+            ldm: 11,
+            label: "stage",
+            bytes: 256,
+            in_use_after: 256,
+            capacity: 65536,
+            ok: true,
+        };
+        let release = |cpe: usize| Event::LdmRelease {
+            cpe: Some(cpe),
+            epoch: 1,
+            ldm: 11,
+            label: "stage",
+            bytes: 256,
+        };
+        // Aliased: two lanes reserve on one ledger concurrently.
+        let ev = [begin(1), reserve(0), reserve(1), end(1)];
+        assert_eq!(ids(&detect(&strict(), &ev)), ["SWC113"]);
+        // Handed over: release→acquire orders the second lane.
+        let ev = [begin(1), reserve(0), release(0), reserve(1), end(1)];
+        assert!(detect(&strict(), &ev).is_empty());
+    }
+
+    #[test]
+    fn real_substrate_capture_round_trips_through_the_engine() {
+        // Drive the real primitives into a clean two-epoch mark→reduce
+        // and assert the engine accepts the genuine event shapes.
+        let session = trace::Session::begin();
+        let e1 = trace::begin_region(2);
+        trace::set_current_cpe(Some(0));
+        trace::shared_write(5, 0, 16);
+        trace::set_current_cpe(None);
+        trace::end_region(e1);
+        let e2 = trace::begin_region(2);
+        trace::set_current_cpe(Some(1));
+        trace::shared_read(5, 0, 16);
+        trace::set_current_cpe(None);
+        trace::end_region(e2);
+        let ev = session.finish();
+        assert!(detect(&strict(), &ev).is_empty());
+    }
+}

@@ -8,8 +8,9 @@
 //! simulation; they would silently produce a kernel that could never run
 //! on the real chip (or would corrupt forces if it did).
 //!
-//! `swcheck` closes that gap with two cooperating passes over the event
-//! stream a traced kernel run emits ([`sw26010::trace`]):
+//! `swcheck` closes that gap with four cooperating passes — three over
+//! the event stream a traced kernel run emits ([`sw26010::trace`]), one
+//! over the workspace source itself:
 //!
 //! - **[`lint`]** — a static replay of the metered DMA/LDM/gld events
 //!   enforcing the paper's transfer discipline: 128-bit DMA alignment
@@ -22,6 +23,20 @@
 //!   the reduction's consumed-line set (Alg. 3/4 coherence), plus the
 //!   fault-recovery contract: an aborted attempt (`swfault` respawn)
 //!   must leave no dirty or marked-but-unreduced state behind.
+//! - **[`hb`]** — a vector-clock happens-before engine over all 65
+//!   lanes (MPE + 64 CPEs), deriving synchronization edges from spawn
+//!   epochs, DMA completions, LDM reservation handoffs, Bit-Map
+//!   mark/reduce pairs, barriers, and swnet seqno channels, then
+//!   reporting every pair of conflicting accesses no edge orders —
+//!   with dual-access evidence naming both sites.
+//! - **[`srclint`]** — determinism lints over the workspace source:
+//!   wall clocks, unseeded RNG, hash-iteration order, and undocumented
+//!   CAS float reductions anywhere physics or trace output could see.
+//!
+//! On top of the HB engine, [`schedule`] replays a trace under many
+//! seeded HB-respecting linearizations (DPOR-lite) and certifies that
+//! verdicts and physics checksums are interleaving-invariant — the
+//! certificate ([`swgmx::backend`]) a native backend must present.
 //!
 //! Each finding is a [`Violation`] carrying a stable invariant id:
 //!
@@ -39,19 +54,34 @@
 //! | SWC105 | dynamic | aborted attempt left dirty/marked state behind |
 //! | SWC106 | dynamic | orphaned / double-owned domain cells after recovery |
 //! | SWC107 | dynamic | gap or off-cadence epoch in the durable generation chain |
+//! | SWC006 | srclint | wall-clock read reachable from physics/trace   |
+//! | SWC007 | srclint | unseeded RNG                                   |
+//! | SWC008 | srclint | HashMap/HashSet where iteration order can leak |
+//! | SWC009 | srclint | CAS float reduction without a documented order |
+//! | SWC110 | hb      | conflicting accesses with no happens-before edge |
+//! | SWC111 | hb      | Bit-Map reduce not ordered after its mark      |
+//! | SWC112 | hb      | access inside an async DMA window, no completion edge |
+//! | SWC113 | hb      | cross-lane LDM aliasing without a release/acquire handoff |
 //!
 //! The `swcheck` binary runs every kernel variant of the ladder under
-//! both passes and exits nonzero on violations; `swcheck --fixtures`
-//! replays six seeded-violation [`fixtures`] and verifies each one is
-//! caught — the checker checking itself.
+//! the trace passes and exits nonzero on violations (exit 3 static, 4
+//! dynamic, 5 happens-before); `swcheck --fixtures` replays eight
+//! seeded-violation [`fixtures`] and verifies each one is caught — the
+//! checker checking itself; `swcheck certify` mints the backend
+//! certificate; `swcheck srclint` runs the determinism lints.
 
 pub mod dynamic;
 pub mod fixtures;
+pub mod hb;
 pub mod lint;
 pub mod recovery;
+pub mod schedule;
+pub mod srclint;
 
 use sw26010::trace::Event;
 use swgmx::check::KernelContract;
+
+pub use hb::{AccessSite, DualAccess};
 
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -74,7 +104,7 @@ impl std::fmt::Display for Severity {
 /// One invariant violation found in a traced kernel run.
 #[derive(Debug, Clone)]
 pub struct Violation {
-    /// Stable invariant id (`SWC0xx` lint, `SWC1xx` dynamic).
+    /// Stable invariant id (`SWC0xx` lint, `SWC1xx` dynamic/HB).
     pub id: &'static str,
     /// Name of the kernel (from its [`KernelContract`]).
     pub kernel: String,
@@ -82,6 +112,9 @@ pub struct Violation {
     pub severity: Severity,
     /// Human-readable description with aggregate counts.
     pub message: String,
+    /// Dual-access evidence for happens-before findings (SWC110–113):
+    /// both sites, both lanes, both stream positions.
+    pub evidence: Option<DualAccess>,
 }
 
 impl Violation {
@@ -91,7 +124,13 @@ impl Violation {
             kernel: kernel.to_string(),
             severity,
             message,
+            evidence: None,
         }
+    }
+
+    fn with_evidence(mut self, evidence: DualAccess) -> Self {
+        self.evidence = Some(evidence);
+        self
     }
 }
 
@@ -105,10 +144,11 @@ impl std::fmt::Display for Violation {
     }
 }
 
-/// Run both passes over one traced run's events, errors first.
+/// Run all three passes over one traced run's events, errors first.
 pub fn check_events(contract: &KernelContract, events: &[Event]) -> Vec<Violation> {
     let mut v = lint::lint(contract, events);
     v.extend(dynamic::detect(contract, events));
+    v.extend(hb::detect(contract, events));
     v.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.id.cmp(b.id)));
     v
 }

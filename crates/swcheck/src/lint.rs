@@ -210,11 +210,13 @@ mod tests {
         Event::Dma {
             cpe: Some(0),
             epoch: 1,
+            id: 1,
             dir: Dir::Get,
             region,
             byte_off,
             bytes,
             aligned,
+            completed: true,
         }
     }
 
@@ -270,6 +272,7 @@ mod tests {
         Event::LdmReserve {
             cpe: Some(0),
             epoch: 1,
+            ldm: 1,
             label: "buf",
             bytes: 1024,
             in_use_after,

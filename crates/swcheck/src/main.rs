@@ -1,63 +1,64 @@
 //! `swcheck` — run every kernel variant under the invariant checker.
 //!
 //! ```text
-//! swcheck [--n-mol N] [--seed S] [variant ...]   check kernel runs
-//! swcheck --fixtures                             seeded-violation self-test
+//! swcheck [--n-mol N] [--seed S] [--json] [variant ...]   check kernel runs
+//! swcheck --fixtures [--json]            seeded-violation self-test
+//! swcheck certify [--n-mol N] [--seeds a,b,c] [--schedules K] [--json]
+//!                                        happens-before certification
+//! swcheck srclint [--json]               SWC006–009 determinism lints
 //! ```
 //!
 //! With no variant arguments all five ladder variants (`ori`,
-//! `gldnaive`, `rma`, `rca`, `ustc`) are traced and checked. The exit
-//! code is nonzero if any error-severity violation is found (or, with
-//! `--fixtures`, if any seeded violation goes undetected).
+//! `gldnaive`, `rma`, `rca`, `ustc`) are traced and checked under all
+//! three passes (static lint, dynamic, happens-before). Exit codes
+//! separate the failure classes so CI can triage without parsing:
+//!
+//! | code | meaning                                            |
+//! |------|----------------------------------------------------|
+//! | 0    | clean (warnings allowed)                           |
+//! | 2    | usage error                                        |
+//! | 3    | static findings (SWC001–005 lint / SWC006–009 src) |
+//! | 4    | dynamic findings (SWC101–107)                      |
+//! | 5    | happens-before findings (SWC110–113) or a failed   |
+//! |      | certification                                      |
+//!
+//! When several classes fire at once the most severe wins: HB beats
+//! dynamic beats lint.
 
 use std::process::ExitCode;
 
 use swcheck::lint::ldm_report;
-use swcheck::{check_events, error_count, fixtures, Severity};
+use swcheck::schedule::{certify, CertifyOptions};
+use swcheck::srclint::{lint_workspace, workspace_root};
+use swcheck::{check_events, error_count, fixtures, DualAccess, Severity, Violation};
 use swgmx::check::{run_traced, Variant};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut n_mol = 200usize;
-    let mut seed = 1u64;
-    let mut run_fixtures = false;
-    let mut variants: Vec<Variant> = Vec::new();
-
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--fixtures" => run_fixtures = true,
-            "--n-mol" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) if v > 0 => n_mol = v,
-                _ => return usage("--n-mol needs a positive integer argument"),
-            },
-            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(v) => seed = v,
-                None => return usage("--seed needs an integer argument"),
-            },
-            "--help" | "-h" => {
-                print!("{}", USAGE);
-                return ExitCode::SUCCESS;
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = take_flag(&mut args, "--json");
+    match args.first().map(String::as_str) {
+        Some("certify") => cmd_certify(&args[1..], json),
+        Some("srclint") => cmd_srclint(json),
+        _ => {
+            if take_flag(&mut args, "--fixtures") {
+                return cmd_fixtures(json);
             }
-            name => match Variant::from_name(name) {
-                Some(v) => variants.push(v),
-                None => return usage(&format!("unknown variant `{name}`")),
-            },
+            cmd_check(&args, json)
         }
     }
+}
 
-    if run_fixtures {
-        return self_test();
-    }
-    if variants.is_empty() {
-        variants = Variant::ALL.to_vec();
-    }
-    check_variants(&variants, n_mol, seed)
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != flag);
+    args.len() != before
 }
 
 const USAGE: &str = "\
-usage: swcheck [--n-mol N] [--seed S] [variant ...]
-       swcheck --fixtures
+usage: swcheck [--n-mol N] [--seed S] [--json] [variant ...]
+       swcheck --fixtures [--json]
+       swcheck certify [--n-mol N] [--seeds a,b,c] [--schedules K] [--json]
+       swcheck srclint [--json]
 
 variants: ori gldnaive rma rca ustc (default: all five)
 ";
@@ -68,14 +69,75 @@ fn usage(err: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
-fn check_variants(variants: &[Variant], n_mol: usize, seed: u64) -> ExitCode {
+/// Exit code for a finding set: HB (5) > dynamic (4) > static (3) > ok.
+fn exit_for(violations: &[Violation]) -> u8 {
+    let errors = || {
+        violations
+            .iter()
+            .filter(|v| v.severity == Severity::Error)
+            .map(|v| v.id)
+    };
+    if errors().any(|id| id >= "SWC110") {
+        5
+    } else if errors().any(|id| id >= "SWC100") {
+        4
+    } else if errors().next().is_some() {
+        3
+    } else {
+        0
+    }
+}
+
+fn cmd_check(args: &[String], json: bool) -> ExitCode {
+    let mut n_mol = 200usize;
+    let mut seed = 1u64;
+    let mut variants: Vec<Variant> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--n-mol" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => n_mol = v,
+                _ => return usage("--n-mol needs a positive integer argument"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage("--seed needs an integer argument"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            name => match Variant::from_name(name) {
+                Some(v) => variants.push(v),
+                None => return usage(&format!("unknown variant `{name}`")),
+            },
+        }
+    }
+    if variants.is_empty() {
+        variants = Variant::ALL.to_vec();
+    }
+
+    let mut worst = 0u8;
     let mut total_errors = 0usize;
-    for &variant in variants {
+    let mut run_objs = Vec::new();
+    for &variant in &variants {
         let run = run_traced(variant, n_mol, seed);
         let violations = check_events(&run.contract, &run.events);
         let errors = error_count(&violations);
         total_errors += errors;
+        worst = worst.max(exit_for(&violations));
 
+        if json {
+            run_objs.push(format!(
+                "{{\"variant\":{},\"events\":{},\"cycles\":{},\"checksum\":\"{:#018x}\",\"violations\":{}}}",
+                json_str(variant.name()),
+                run.events.len(),
+                run.cycles,
+                run.checksum,
+                json_violations(&violations)
+            ));
+            continue;
+        }
         let verdict = if errors > 0 {
             "FAIL"
         } else if violations.is_empty() {
@@ -84,10 +146,11 @@ fn check_variants(variants: &[Variant], n_mol: usize, seed: u64) -> ExitCode {
             "ok (warnings)"
         };
         println!(
-            "{:<9} {:>7} events {:>12} cycles  {}",
+            "{:<9} {:>7} events {:>12} cycles  checksum {:#018x}  {}",
             variant.name(),
             run.events.len(),
             run.cycles,
+            run.checksum,
             verdict
         );
         if let Some(r) = ldm_report(&run.events) {
@@ -107,31 +170,44 @@ fn check_variants(variants: &[Variant], n_mol: usize, seed: u64) -> ExitCode {
             println!("{marker} {v}");
         }
     }
-    if total_errors > 0 {
+    if json {
+        println!(
+            "{{\"runs\":[{}],\"errors\":{},\"exit\":{}}}",
+            run_objs.join(","),
+            total_errors,
+            worst
+        );
+    } else if total_errors > 0 {
         eprintln!(
             "swcheck: {total_errors} error(s) across {} variant(s)",
             variants.len()
         );
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
     }
+    ExitCode::from(worst)
 }
 
-fn self_test() -> ExitCode {
+fn cmd_fixtures(json: bool) -> ExitCode {
     let mut failures = 0usize;
-    let mut total = 0usize;
-    for f in fixtures::all() {
-        total += 1;
+    let mut objs = Vec::new();
+    let all = fixtures::all();
+    let total = all.len();
+    for f in all {
         let violations = check_events(&f.contract, &f.events);
         let detected = violations.iter().any(|v| v.id == f.expected);
-        if detected {
+        if json {
+            objs.push(format!(
+                "{{\"name\":{},\"expected\":{},\"detected\":{},\"violations\":{}}}",
+                json_str(f.name),
+                json_str(f.expected),
+                detected,
+                json_violations(&violations)
+            ));
+        } else if detected {
             println!("PASS {:<10} {}", f.expected, f.name);
             for v in violations.iter().filter(|v| v.id == f.expected) {
                 println!("       {v}");
             }
         } else {
-            failures += 1;
             println!(
                 "FAIL {:<10} {} — expected id not reported",
                 f.expected, f.name
@@ -140,12 +216,226 @@ fn self_test() -> ExitCode {
                 println!("       got: {v}");
             }
         }
+        if !detected {
+            failures += 1;
+        }
     }
-    if failures > 0 {
+    if json {
+        println!(
+            "{{\"fixtures\":[{}],\"undetected\":{failures}}}",
+            objs.join(",")
+        );
+    } else if failures > 0 {
         eprintln!("swcheck: {failures} fixture(s) undetected");
-        ExitCode::FAILURE
     } else {
         println!("all {total} seeded violations detected");
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
         ExitCode::SUCCESS
     }
+}
+
+fn cmd_certify(args: &[String], json: bool) -> ExitCode {
+    let mut opts = CertifyOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--n-mol" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => opts.n_mol = v,
+                _ => return usage("--n-mol needs a positive integer argument"),
+            },
+            "--schedules" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v > 0 => opts.schedules = v,
+                _ => return usage("--schedules needs a positive integer argument"),
+            },
+            "--seeds" => {
+                let parsed: Option<Vec<u64>> = it
+                    .next()
+                    .map(|v| v.split(',').map(|s| s.trim().parse().ok()).collect())
+                    .unwrap_or(None);
+                match parsed {
+                    Some(seeds) if !seeds.is_empty() => opts.seeds = seeds,
+                    _ => return usage("--seeds needs a comma-separated integer list"),
+                }
+            }
+            other => return usage(&format!("unknown certify argument `{other}`")),
+        }
+    }
+
+    let report = certify(&opts);
+    let certified = report.certificate.is_some();
+    if json {
+        let objs: Vec<String> = report
+            .outcomes
+            .iter()
+            .map(|o| {
+                let problems: Vec<String> =
+                    o.problems.iter().map(|p| json_str(p)).collect();
+                format!(
+                    "{{\"variant\":{},\"checksum\":\"{:#018x}\",\"schedules\":{},\"unique_orders\":{},\"trace_len\":{},\"problems\":[{}]}}",
+                    json_str(o.variant.name()),
+                    o.checksum,
+                    o.replayed,
+                    o.unique_orders,
+                    o.trace_len,
+                    problems.join(",")
+                )
+            })
+            .collect();
+        println!(
+            "{{\"certified\":{certified},\"backend\":\"simulated\",\"variants\":[{}]}}",
+            objs.join(",")
+        );
+    } else {
+        for o in &report.outcomes {
+            let verdict = if o.problems.is_empty() {
+                "CERTIFIED"
+            } else {
+                "FAIL"
+            };
+            println!(
+                "{:<9} checksum {:#018x}  {:>4} schedules ({} unique) over {} events  {}",
+                o.variant.name(),
+                o.checksum,
+                o.replayed,
+                o.unique_orders,
+                o.trace_len,
+                verdict
+            );
+            for p in &o.problems {
+                println!("  !! {p}");
+            }
+        }
+        if certified {
+            println!(
+                "backend `simulated` certified: {} variants x {} seeds, {} schedules each",
+                report.outcomes.len(),
+                opts.seeds.len(),
+                opts.schedules
+            );
+        } else {
+            eprintln!("swcheck: certification FAILED");
+        }
+    }
+    if certified {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(5)
+    }
+}
+
+fn cmd_srclint(json: bool) -> ExitCode {
+    let findings = match lint_workspace(&workspace_root()) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("swcheck: cannot scan workspace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        let objs: Vec<String> = findings
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"rule\":{},\"file\":{},\"line\":{},\"excerpt\":{},\"message\":{}}}",
+                    json_str(f.rule),
+                    json_str(&f.file),
+                    f.line,
+                    json_str(&f.excerpt),
+                    json_str(&f.message)
+                )
+            })
+            .collect();
+        println!(
+            "{{\"findings\":[{}],\"count\":{}}}",
+            objs.join(","),
+            findings.len()
+        );
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        if findings.is_empty() {
+            println!("srclint clean: no SWC006-SWC009 findings");
+        } else {
+            eprintln!("swcheck: {} determinism finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(3)
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_site(s: &swcheck::AccessSite) -> String {
+    format!(
+        "{{\"lane\":{},\"epoch\":{},\"index\":{},\"what\":{}}}",
+        json_str(&s.lane_name()),
+        s.epoch,
+        s.index,
+        json_str(&s.what)
+    )
+}
+
+fn json_evidence(d: &DualAccess) -> String {
+    format!(
+        "{{\"first\":{},\"second\":{}}}",
+        json_site(&d.first),
+        json_site(&d.second)
+    )
+}
+
+fn json_violations(violations: &[Violation]) -> String {
+    let objs: Vec<String> = violations
+        .iter()
+        .map(|v| {
+            let evidence = v
+                .evidence
+                .as_ref()
+                .map(|d| json_evidence(d))
+                .unwrap_or_else(|| "null".to_string());
+            let lanes = v
+                .evidence
+                .as_ref()
+                .map(|d| {
+                    format!(
+                        "[{},{}]",
+                        json_str(&d.first.lane_name()),
+                        json_str(&d.second.lane_name())
+                    )
+                })
+                .unwrap_or_else(|| "[]".to_string());
+            format!(
+                "{{\"rule\":{},\"severity\":{},\"kernel\":{},\"message\":{},\"lanes\":{},\"evidence\":{}}}",
+                json_str(v.id),
+                json_str(&v.severity.to_string()),
+                json_str(&v.kernel),
+                json_str(&v.message),
+                lanes,
+                evidence
+            )
+        })
+        .collect();
+    format!("[{}]", objs.join(","))
 }

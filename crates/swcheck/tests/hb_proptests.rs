@@ -1,0 +1,76 @@
+//! Property tests for the happens-before certifier: verdicts and
+//! physics checksums must be invariant under *every* HB-respecting
+//! linearization of a trace. Clean traces stay clean, seeded races stay
+//! detected, and no permutation the scheduler could legally produce
+//! changes what the checker says — the core soundness claim a native
+//! backend's certificate rests on.
+
+use proptest::prelude::*;
+use swcheck::schedule::{explore, verdict_signature, HbDag};
+use swcheck::{check_events, error_count, fixtures};
+use swgmx::check::{run_traced, Variant};
+
+/// Reorder a trace along one random HB-respecting linearization.
+fn permute(events: &[sw26010::trace::Event], seed: u64) -> Vec<sw26010::trace::Event> {
+    let order = HbDag::build(events).linearize(seed);
+    order.iter().map(|&i| events[i].clone()).collect()
+}
+
+proptest! {
+    /// A clean kernel trace checks clean under any HB-respecting
+    /// permutation: the verdict is a property of the partial order, not
+    /// of the one interleaving the simulator happened to record.
+    #[test]
+    fn clean_traces_stay_clean_under_permutation(seed in 1u64..u64::MAX) {
+        let run = run_traced(Variant::Rca, 48, 7);
+        let baseline = verdict_signature(&check_events(&run.contract, &run.events));
+        prop_assert!(error_count(&check_events(&run.contract, &run.events)) == 0);
+        let shuffled = permute(&run.events, seed);
+        let verdict = check_events(&run.contract, &shuffled);
+        prop_assert!(
+            error_count(&verdict) == 0,
+            "seed {} surfaced {:?} on a clean trace",
+            seed,
+            verdict.iter().map(|v| v.id).collect::<Vec<_>>()
+        );
+        prop_assert!(verdict_signature(&verdict) == baseline);
+    }
+
+    /// Every seeded HB fixture keeps reporting its expected id under
+    /// every legal reordering: a race is unordered in *all*
+    /// linearizations, so no schedule can hide it.
+    #[test]
+    fn racy_fixtures_stay_racy_under_permutation(seed in 1u64..u64::MAX) {
+        for f in fixtures::all() {
+            let shuffled = permute(&f.events, seed);
+            let verdict = check_events(&f.contract, &shuffled);
+            prop_assert!(
+                verdict.iter().any(|v| v.id == f.expected),
+                "fixture `{}` lost {} under seed {}: got {:?}",
+                f.name,
+                f.expected,
+                seed,
+                verdict.iter().map(|v| v.id).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    /// The physics checksum is a pure function of (variant, n_mol,
+    /// seed): replaying the same configuration twice is bit-identical,
+    /// and exploring many schedules of its trace never diverges.
+    #[test]
+    fn checksums_and_exploration_are_deterministic(seed in 1u64..1_000_000u64) {
+        let a = run_traced(Variant::GldNaive, 32, seed);
+        let b = run_traced(Variant::GldNaive, 32, seed);
+        prop_assert!(a.checksum == b.checksum, "replay diverged for seed {seed}");
+        let report = explore(&a.contract, &a.events, 16, seed);
+        prop_assert!(
+            report.stable(),
+            "seed {}: {} of {} schedules diverged: {:?}",
+            seed,
+            report.divergences.len(),
+            report.replayed,
+            report.divergences
+        );
+    }
+}

@@ -64,6 +64,10 @@ pub fn epoch_barrier(params: &NetParams, transport: Transport, live: &[bool]) ->
     if !confirmed_dead.is_empty() {
         ns += params.liveness_timeout_ns;
     }
+    // One barrier arrival per round in the substrate trace: everything
+    // the calling lane did before the barrier happens-before everything
+    // any lane does after a later arrival of the same round family.
+    sw26010::trace::emit_barrier(sw26010::trace::next_barrier_id());
     BarrierOutcome { ns, confirmed_dead }
 }
 

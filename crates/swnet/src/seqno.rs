@@ -39,17 +39,38 @@ pub struct TransmitReport {
 
 /// One ordered, sequence-numbered channel between a sender/receiver
 /// pair. Covers a single direction; use one per peer per direction.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SeqChannel {
     next_send: u64,
     next_expect: u64,
     duplicates_discarded: u64,
+    /// Trace id pairing this channel's send events with its applied
+    /// deliveries in the `sw26010::trace` stream — the send→recv
+    /// synchronization edge of the happens-before model. Duplicate
+    /// copies emit nothing, so a retransmit can never fabricate an edge.
+    chan_id: u64,
+}
+
+impl Default for SeqChannel {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SeqChannel {
     /// Fresh channel: both sides start at sequence number 0.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            next_send: 0,
+            next_expect: 0,
+            duplicates_discarded: 0,
+            chan_id: sw26010::trace::next_chan_id(),
+        }
+    }
+
+    /// Trace id of this channel in the `sw26010::trace` stream.
+    pub fn chan_id(&self) -> u64 {
+        self.chan_id
     }
 
     /// Receiver-side check for one arriving copy. Fresh numbers advance
@@ -66,6 +87,7 @@ impl SeqChannel {
             // is always exactly the next expected number.
             debug_assert_eq!(seq, self.next_expect);
             self.next_expect = seq + 1;
+            sw26010::trace::emit_chan_recv(self.chan_id, seq);
             Delivery::Fresh(seq)
         }
     }
@@ -79,6 +101,7 @@ impl SeqChannel {
     pub fn transmit(&mut self) -> TransmitReport {
         let seq = self.next_send;
         self.next_send += 1;
+        sw26010::trace::emit_chan_send(self.chan_id, seq);
         let copies: u32 = if swfault::enabled() && swfault::should(swfault::Site::NetDelay) {
             2
         } else {
@@ -217,6 +240,44 @@ mod tests {
         let (report, ctx) = ch.transmit_traced("halo.f", 0, 1);
         assert_eq!(report.seq, 0);
         assert!(ctx.is_none());
+    }
+
+    #[test]
+    fn duplicates_never_fabricate_a_happens_before_edge() {
+        use sw26010::trace::{self, Event};
+        // Every transmit is delayed => two copies per message, but the
+        // substrate trace must pair each ChanSend with exactly one
+        // ChanRecv of the same (chan, seq): the discarded duplicate
+        // emits nothing, so the HB engine can trust every edge it sees.
+        let session = trace::Session::begin();
+        let plan = FaultPlan {
+            net_delay: 1.0,
+            ..FaultPlan::with_seed(7)
+        };
+        let scope = swfault::install(plan);
+        let mut ch = SeqChannel::new();
+        for _ in 0..4 {
+            ch.transmit();
+        }
+        drop(scope.finish());
+        let ev = session.finish();
+        let sends: Vec<_> = ev
+            .iter()
+            .filter_map(|e| match e {
+                Event::ChanSend { chan, seq, .. } => Some((*chan, *seq)),
+                _ => None,
+            })
+            .collect();
+        let recvs: Vec<_> = ev
+            .iter()
+            .filter_map(|e| match e {
+                Event::ChanRecv { chan, seq, .. } => Some((*chan, *seq)),
+                _ => None,
+            })
+            .collect();
+        let expect: Vec<_> = (0..4).map(|s| (ch.chan_id(), s)).collect();
+        assert_eq!(sends, expect);
+        assert_eq!(recvs, expect, "one recv per logical message, not per copy");
     }
 
     #[test]
