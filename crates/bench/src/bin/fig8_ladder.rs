@@ -49,6 +49,10 @@ fn main() {
             &format!("speedup.gld.{n}"),
             t_ori / naive.total.cycles as f64,
         );
+        // Per-rung children of wall_cycles: the explainer attributes a
+        // total regression to the rung(s) that moved.
+        json.metric(&format!("wall_cycles.ori.{n}"), ori.total.cycles as f64);
+        json.metric(&format!("wall_cycles.gld.{n}"), naive.total.cycles as f64);
         for cfg in [
             RmaConfig::PKG,
             RmaConfig::CACHE,
@@ -61,6 +65,10 @@ fn main() {
             json.metric(
                 &format!("speedup.{}.{n}", cfg.name().to_lowercase()),
                 speedup,
+            );
+            json.metric(
+                &format!("wall_cycles.{}.{n}", cfg.name().to_lowercase()),
+                r.total.cycles as f64,
             );
             measured.push((cfg.name(), speedup, r));
             line += &format!(" {:>8.1}", speedup);
@@ -103,5 +111,11 @@ fn main() {
     }
     println!("\npaper claim: ladder ~1 / 3 / 23 / 40 / 61, stable across sizes");
     println!("(*gld: our extra ablation rung — CPEs with per-element gld/gst, not in the paper)");
-    json.wall_cycles(total_cycles).write();
+    // 6 kernel evaluations per size (Ori, gld, 4 RMA rungs).
+    json.wall_cycles(total_cycles)
+        .work(
+            6.0 * sizes.len() as f64,
+            sw26010::params::cycles_to_ns(total_cycles),
+        )
+        .write();
 }

@@ -16,15 +16,20 @@
 use bench::{header, BenchJson};
 use swgmx::engine::{Engine, EngineConfig, MultiCgModel, Version};
 
-/// Record every breakdown row as `caseN.pct.<label>` in the sidecar.
+/// Record every breakdown row as `caseN.pct.<label>` (share) and
+/// `wall_cycles.caseN.<label>` (absolute cycles) in the sidecar. The
+/// absolute rows are the dotted children the regression explainer
+/// attributes a `wall_cycles` delta to; over both cases they sum to the
+/// sidecar's `wall_cycles` exactly.
 fn record(json: &mut BenchJson, case: usize, breakdown: &sw26010::Breakdown) {
     let total = breakdown.total_cycles() as f64;
     for (label, perf) in breakdown.iter() {
-        let key = format!(
-            "case{case}.pct.{}",
-            label.to_lowercase().replace([' ', '/', '+', '.'], "_")
+        let key = label.to_lowercase().replace([' ', '/', '+', '.'], "_");
+        json.metric(
+            &format!("case{case}.pct.{key}"),
+            100.0 * perf.cycles as f64 / total,
         );
-        json.metric(&key, 100.0 * perf.cycles as f64 / total);
+        json.metric(&format!("wall_cycles.case{case}.{key}"), perf.cycles as f64);
     }
 }
 
@@ -100,7 +105,10 @@ fn main() {
         &out.breakdown,
     );
     record(&mut json, 2, &out.breakdown);
-    json.wall_cycles(engine.breakdown.total_cycles() + out.breakdown.total_cycles())
+    let total = engine.breakdown.total_cycles() + out.breakdown.total_cycles();
+    // 10 engine steps per case.
+    json.wall_cycles(total)
+        .work(20.0, sw26010::params::cycles_to_ns(total))
         .write();
     println!(
         "\npaper claim: Force dominates both cases; Comm. energies becomes \

@@ -157,9 +157,11 @@ pub fn physics_checksum(forces: &[mdsim::Vec3], energies: &mdsim::nonbonded::NbE
     h
 }
 
-/// Run `variant` on a seeded water box of `n_mol` molecules under a
-/// trace capture session and return the event stream plus contract.
-pub fn run_traced(variant: Variant, n_mol: usize, seed: u64) -> TracedRun {
+/// Run `variant` on a seeded water box of `n_mol` molecules and return
+/// its full [`KernelResult`] (forces, energies, counters, per-phase
+/// breakdown). The shared entry point for the checker ([`run_traced`])
+/// and the swlens roofline collector.
+pub fn run_variant(variant: Variant, n_mol: usize, seed: u64) -> crate::kernels::KernelResult {
     let r_cut = 0.7f32;
     let sys = water_box(n_mol, 300.0, seed);
     let params = NbParams {
@@ -178,15 +180,20 @@ pub fn run_traced(variant: Variant, n_mol: usize, seed: u64) -> TracedRun {
     };
     let psys = PackedSystem::build(&sys, list.clustering.clone(), layout);
     let cg = CoreGroup::new();
-
-    let session = trace::Session::begin();
-    let result = match variant {
+    match variant {
         Variant::Ori => run_ori(&psys, &cpe, &params, &cg),
         Variant::GldNaive => run_gld_naive(&psys, &cpe, &params, &cg),
         Variant::Rma => run_rma(&psys, &cpe, &params, &cg, RmaConfig::MARK),
         Variant::Rca => run_rca(&psys, &cpe, &params, &cg),
         Variant::Ustc => run_ustc(&psys, &cpe, &params, &cg),
-    };
+    }
+}
+
+/// Run `variant` on a seeded water box of `n_mol` molecules under a
+/// trace capture session and return the event stream plus contract.
+pub fn run_traced(variant: Variant, n_mol: usize, seed: u64) -> TracedRun {
+    let session = trace::Session::begin();
+    let result = run_variant(variant, n_mol, seed);
     let events = session.finish();
     TracedRun {
         contract: variant.contract(),

@@ -369,6 +369,11 @@ impl Engine {
         };
         swprof::tick(result.total.cycles);
         swtel::flight::record("stage", "Force", result.total.cycles, 0);
+        if swprof::enabled() {
+            swprof::metrics::counter_add("kernel.flops", result.total.flops());
+            swprof::metrics::counter_add("kernel.dma.bytes", result.total.dma_bytes);
+            swprof::metrics::counter_add("kernel.gld.bytes", result.total.gld_bytes);
+        }
         self.breakdown.add("Force", result.total);
         self.energies = result.energies;
         for (i, f) in result.forces.iter().enumerate() {

@@ -16,14 +16,7 @@ use crate::perf::PerfCounters;
 /// the access pattern of pointer-chasing through non-contiguous particle
 /// arrays (paper Algorithm 1 commentary).
 pub fn gld_dependent(perf: &mut PerfCounters, n: u64) {
-    let cycles = n * GLD_GST_LATENCY_CYCLES;
-    perf.cycles += cycles;
-    perf.gld_cycles += cycles;
-    perf.gld_ops += n;
-    if swprof::enabled() {
-        swprof::metrics::counter_add("gld.ops", n);
-    }
-    crate::trace::emit_gld(n);
+    gld_bytes_at(perf, n, n * GLD_WORD_BYTES, n * GLD_GST_LATENCY_CYCLES);
 }
 
 /// Issue `n` independent global loads/stores that the hardware can
@@ -32,18 +25,28 @@ pub fn gld_dependent(perf: &mut PerfCounters, n: u64) {
 pub fn gld_pipelined(perf: &mut PerfCounters, n: u64) {
     const OVERLAP: u64 = 4;
     let cycles = n.div_ceil(OVERLAP) * GLD_GST_LATENCY_CYCLES;
-    perf.cycles += cycles;
-    perf.gld_cycles += cycles;
-    perf.gld_ops += n;
-    if swprof::enabled() {
-        swprof::metrics::counter_add("gld.ops", n);
-    }
-    crate::trace::emit_gld(n);
+    gld_bytes_at(perf, n, n * GLD_WORD_BYTES, cycles);
 }
 
 /// Cost of loading `bytes` of non-contiguous data one word at a time.
 pub fn gld_bytes_dependent(perf: &mut PerfCounters, bytes: u64) {
-    gld_dependent(perf, bytes.div_ceil(8));
+    let n = bytes.div_ceil(GLD_WORD_BYTES);
+    gld_bytes_at(perf, n, bytes, n * GLD_GST_LATENCY_CYCLES);
+}
+
+/// Bytes one gld/gst word access moves.
+pub const GLD_WORD_BYTES: u64 = 8;
+
+fn gld_bytes_at(perf: &mut PerfCounters, n: u64, bytes: u64, cycles: u64) {
+    perf.cycles += cycles;
+    perf.gld_cycles += cycles;
+    perf.gld_ops += n;
+    perf.gld_bytes += bytes;
+    if swprof::enabled() {
+        swprof::metrics::counter_add("gld.ops", n);
+        swprof::metrics::counter_add("gld.bytes", bytes);
+    }
+    crate::trace::emit_gld(n);
 }
 
 #[cfg(test)]

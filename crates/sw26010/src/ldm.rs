@@ -100,7 +100,14 @@ impl Ldm {
             if swprof::enabled() {
                 swprof::metrics::counter_add("ldm.overflows", 1);
             }
-            crate::trace::emit_ldm(self.trace_id, label, bytes, self.in_use, self.capacity, false);
+            crate::trace::emit_ldm(
+                self.trace_id,
+                label,
+                bytes,
+                self.in_use,
+                self.capacity,
+                false,
+            );
             return Err(LdmOverflow {
                 requested: bytes,
                 in_use: self.in_use,
@@ -113,7 +120,14 @@ impl Ldm {
         if swprof::enabled() {
             swprof::metrics::gauge_max("ldm.high_water_bytes", self.in_use as u64);
         }
-        crate::trace::emit_ldm(self.trace_id, label, bytes, self.in_use, self.capacity, true);
+        crate::trace::emit_ldm(
+            self.trace_id,
+            label,
+            bytes,
+            self.in_use,
+            self.capacity,
+            true,
+        );
         Ok(())
     }
 

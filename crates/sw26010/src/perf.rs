@@ -31,6 +31,8 @@ pub struct PerfCounters {
     pub dma_bytes: u64,
     /// Number of gld/gst operations issued.
     pub gld_ops: u64,
+    /// Bytes moved by gld/gst accesses (both directions).
+    pub gld_bytes: u64,
     /// Scalar floating-point operations executed.
     pub scalar_flops: u64,
     /// SIMD vector operations executed (each processes 4 f32 lanes).
@@ -56,6 +58,7 @@ impl PerfCounters {
         self.dma_transactions += other.dma_transactions;
         self.dma_bytes += other.dma_bytes;
         self.gld_ops += other.gld_ops;
+        self.gld_bytes += other.gld_bytes;
         self.scalar_flops += other.scalar_flops;
         self.simd_ops += other.simd_ops;
         self.shuffle_ops += other.shuffle_ops;
@@ -77,6 +80,7 @@ impl PerfCounters {
         self.dma_transactions += other.dma_transactions;
         self.dma_bytes += other.dma_bytes;
         self.gld_ops += other.gld_ops;
+        self.gld_bytes += other.gld_bytes;
         self.scalar_flops += other.scalar_flops;
         self.simd_ops += other.simd_ops;
         self.shuffle_ops += other.shuffle_ops;
@@ -98,6 +102,38 @@ impl PerfCounters {
             return 0.0;
         }
         self.dma_bytes as f64 / params::cycles_to_ns(self.dma_cycles)
+    }
+
+    /// Total floating-point operations: scalar flops plus each SIMD
+    /// vector op counted as [`params::SIMD_F32_LANES`] lane-flops
+    /// (shuffles are data movement, not arithmetic, and are excluded).
+    pub fn flops(&self) -> u64 {
+        self.scalar_flops + self.simd_ops * params::SIMD_F32_LANES as u64
+    }
+
+    /// Bytes this core moved through main memory: DMA plus gld/gst
+    /// traffic. The denominator of [`Self::arithmetic_intensity`].
+    pub fn moved_bytes(&self) -> u64 {
+        self.dma_bytes + self.gld_bytes
+    }
+
+    /// Arithmetic intensity in flop/byte against main-memory traffic.
+    /// `None` when the region moved no bytes (a pure-compute region sits
+    /// off the bandwidth roof entirely).
+    pub fn arithmetic_intensity(&self) -> Option<f64> {
+        match self.moved_bytes() {
+            0 => None,
+            b => Some(self.flops() as f64 / b as f64),
+        }
+    }
+
+    /// Achieved compute rate in GFLOP/s over this region's simulated
+    /// wall time (0 when no cycles elapsed).
+    pub fn achieved_gflops(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.flops() as f64 / self.ns()
     }
 }
 
@@ -146,6 +182,14 @@ impl Breakdown {
             .find(|(l, _)| l == label)
             .map(|(_, c)| c.cycles as f64 / total as f64)
             .unwrap_or(0.0)
+    }
+
+    /// Full counters recorded under `label`.
+    pub fn get(&self, label: &str) -> Option<&PerfCounters> {
+        self.entries
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, c)| c)
     }
 
     /// Cycles recorded under `label`.

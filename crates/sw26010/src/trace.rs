@@ -754,8 +754,22 @@ mod tests {
             }
         ));
         assert!(matches!(ev[1], Event::Barrier { id: 77, .. }));
-        assert!(matches!(ev[2], Event::ChanSend { chan: 5, seq: 0, .. }));
-        assert!(matches!(ev[3], Event::ChanRecv { chan: 5, seq: 0, .. }));
+        assert!(matches!(
+            ev[2],
+            Event::ChanSend {
+                chan: 5,
+                seq: 0,
+                ..
+            }
+        ));
+        assert!(matches!(
+            ev[3],
+            Event::ChanRecv {
+                chan: 5,
+                seq: 0,
+                ..
+            }
+        ));
         assert!(matches!(
             ev[4],
             Event::LdmRelease {

@@ -843,15 +843,7 @@ mod tests {
         assert!(v[0].evidence.is_some());
         // Writing after the wait + a return edge is clean. CPE 0 waits,
         // then sends; CPE 1 writes only after the recv.
-        let ev = [
-            begin(1),
-            issue,
-            done,
-            send,
-            recv,
-            w(1, 1, 5, 8, 24),
-            end(1),
-        ];
+        let ev = [begin(1), issue, done, send, recv, w(1, 1, 5, 8, 24), end(1)];
         assert!(detect(&strict(), &ev).is_empty());
     }
 

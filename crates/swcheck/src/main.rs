@@ -413,7 +413,7 @@ fn json_violations(violations: &[Violation]) -> String {
             let evidence = v
                 .evidence
                 .as_ref()
-                .map(|d| json_evidence(d))
+                .map(json_evidence)
                 .unwrap_or_else(|| "null".to_string());
             let lanes = v
                 .evidence

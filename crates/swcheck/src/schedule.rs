@@ -243,7 +243,11 @@ pub fn explore(
     let mut seen: Vec<u64> = Vec::new();
     let mut divergences = Vec::new();
     for k in 0..n {
-        let order = dag.linearize(base_seed.wrapping_add(k as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let order = dag.linearize(
+            base_seed
+                .wrapping_add(k as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15),
+        );
         let sig_hash = order_hash(&order);
         if !seen.contains(&sig_hash) {
             seen.push(sig_hash);
@@ -396,7 +400,10 @@ mod tests {
 
     fn racy_events() -> Vec<Event> {
         vec![
-            Event::SpawnBegin { epoch: 1, n_cpes: 2 },
+            Event::SpawnBegin {
+                epoch: 1,
+                n_cpes: 2,
+            },
             Event::SharedWrite {
                 cpe: Some(0),
                 epoch: 1,
@@ -448,7 +455,10 @@ mod tests {
     #[test]
     fn clean_sequenced_trace_is_stable_and_clean() {
         let ev = vec![
-            Event::SpawnBegin { epoch: 1, n_cpes: 2 },
+            Event::SpawnBegin {
+                epoch: 1,
+                n_cpes: 2,
+            },
             Event::SharedWrite {
                 cpe: Some(0),
                 epoch: 1,
@@ -457,7 +467,10 @@ mod tests {
                 word_hi: 16,
             },
             Event::SpawnEnd { epoch: 1 },
-            Event::SpawnBegin { epoch: 2, n_cpes: 2 },
+            Event::SpawnBegin {
+                epoch: 2,
+                n_cpes: 2,
+            },
             Event::SharedRead {
                 cpe: Some(1),
                 epoch: 2,

@@ -89,9 +89,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<SrcFinding>> {
             .into_owned();
         findings.extend(lint_source(&rel, &text));
     }
-    findings.sort_by(|a, b| {
-        (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule))
-    });
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(findings)
 }
 
@@ -128,9 +126,9 @@ pub fn lint_source(file: &str, text: &str) -> Vec<SrcFinding> {
         .any(|l| l.contains("from_bits") || l.contains("to_bits"));
     let allowed = |rule: &str, idx: usize| {
         let lo = idx.saturating_sub(ALLOW_WINDOW);
-        lines[lo..=idx].iter().any(|l| {
-            l.contains("swrace: allow(") && l.contains(rule)
-        })
+        lines[lo..=idx]
+            .iter()
+            .any(|l| l.contains("swrace: allow(") && l.contains(rule))
     };
     let mut out = Vec::new();
     for (idx, &line) in lines[..test_start].iter().enumerate() {

@@ -1,0 +1,29 @@
+//! swlens — the performance-attribution lens over the simulated stack.
+//!
+//! The profiling layers below this crate record *what happened*
+//! (`swprof`: spans and metrics; `swtel`: cross-rank causality and the
+//! regression gate). This crate interprets those numbers against the
+//! machine model: every kernel variant's flop and byte counters are
+//! placed on the SW26010 core-group **roofline** —
+//!
+//! ```text
+//! attainable GFLOP/s = min(CG_PEAK_GFLOPS, AI * DMA_PEAK_GBS)
+//! ```
+//!
+//! where `AI` (arithmetic intensity) is flops per main-memory byte
+//! moved (DMA + gld/gst). A kernel left of the ridge point is
+//! **bandwidth-bound** — more SIMD lanes won't help, fewer bytes will;
+//! right of it, **compute-bound**. That classification is the paper's
+//! optimization story in one number: the gld-naive port drowns in
+//! latency-priced bytes, and each ladder rung (packages, LDM cache,
+//! vectorization, Bit-Map reduction) either removes traffic or raises
+//! useful flops until the kernel climbs the roof.
+//!
+//! The report ([`roofline::collect`] + [`roofline::render_json`] /
+//! [`roofline::render_ascii`]) is deterministic: the counters come from
+//! the simulated cost model, so two runs with the same workload are
+//! byte-identical — CI diffs the classification against a committed
+//! baseline and fails when a kernel changes side without a baseline
+//! update.
+
+pub mod roofline;

@@ -1,0 +1,97 @@
+//! `swlens` — roofline report CLI.
+//!
+//! ```text
+//! swlens report [--mols N] [--seed S] [--out DIR] [--check FILE]
+//!     Run all 5 kernel variants on a seeded water box, place every
+//!     (version, region) on the SW26010 core-group roofline, and
+//!     write roofline.json + roofline.txt into DIR (default
+//!     results/). --check compares the fresh classification against
+//!     a committed baseline report; exit 3 when any kernel changed
+//!     side (bandwidth- vs compute-bound) without a baseline update.
+//! ```
+
+use std::path::PathBuf;
+
+use swlens::roofline;
+
+fn die(msg: &str) -> ! {
+    eprintln!("swlens: {msg} (try --help)");
+    std::process::exit(2);
+}
+
+const USAGE: &str = "swlens report [--mols N] [--seed S] [--out DIR] [--check FILE]";
+
+fn main() {
+    let mut it = std::env::args().skip(1);
+    match it.next().as_deref() {
+        Some("report") => report(it),
+        Some("--help") | Some("-h") => println!("{USAGE}"),
+        Some(other) => die(&format!("unknown command `{other}`")),
+        None => die("missing command"),
+    }
+}
+
+fn report(mut it: impl Iterator<Item = String>) {
+    let mut n_mol: usize = 400;
+    let mut seed: u64 = 7;
+    let mut out_dir = PathBuf::from("results");
+    let mut check: Option<PathBuf> = None;
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--mols" => {
+                n_mol = value("--mols")
+                    .parse()
+                    .unwrap_or_else(|_| die("--mols needs an integer"));
+            }
+            "--seed" => {
+                seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("--seed needs an integer"));
+            }
+            "--out" => out_dir = PathBuf::from(value("--out")),
+            "--check" => check = Some(PathBuf::from(value("--check"))),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+
+    let env = roofline::Envelope::sw26010_cg();
+    let rows = roofline::collect(n_mol, seed, &env);
+    let ascii = roofline::render_ascii(&rows, &env);
+    let json = roofline::render_json(&rows, &env, n_mol, seed);
+    print!("{ascii}");
+
+    std::fs::create_dir_all(&out_dir)
+        .unwrap_or_else(|e| die(&format!("{}: {e}", out_dir.display())));
+    for (name, doc) in [("roofline.json", &json), ("roofline.txt", &ascii)] {
+        let path = out_dir.join(name);
+        std::fs::write(&path, doc).unwrap_or_else(|e| die(&format!("{}: {e}", path.display())));
+        println!("[swlens] wrote {}", path.display());
+    }
+
+    if let Some(baseline) = check {
+        let doc = std::fs::read_to_string(&baseline)
+            .unwrap_or_else(|e| die(&format!("{}: {e}", baseline.display())));
+        let drifts = roofline::classification_drift(&doc, &rows).unwrap_or_else(|e| die(&e));
+        if drifts.is_empty() {
+            println!("[swlens] classification matches {}", baseline.display());
+        } else {
+            for d in &drifts {
+                eprintln!("[swlens] DRIFT {d}");
+            }
+            eprintln!(
+                "[swlens] {} classification change(s); update {} if intentional",
+                drifts.len(),
+                baseline.display()
+            );
+            std::process::exit(3);
+        }
+    }
+}

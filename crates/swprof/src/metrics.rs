@@ -110,7 +110,49 @@ impl Metric {
 }
 
 /// A sorted, point-in-time copy of the registry.
-pub type Snapshot = Vec<(String, Metric)>;
+///
+/// Construction goes through [`Snapshot::from_entries`], which sorts by
+/// metric name, so every exporter and gate consumer sees one canonical
+/// order without re-sorting. Dereferences to a slice of
+/// `(name, metric)` pairs for iteration and indexing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot(Vec<(String, Metric)>);
+
+impl Snapshot {
+    /// Build a snapshot from arbitrary-order entries, sorting by name.
+    pub fn from_entries(mut entries: Vec<(String, Metric)>) -> Self {
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Self(entries)
+    }
+
+    /// Look up one metric by name (binary search over the sorted pairs).
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.0
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.0[i].1)
+    }
+
+    /// Iterate `(name, metric)` pairs in name order.
+    pub fn iter(&self) -> std::slice::Iter<'_, (String, Metric)> {
+        self.0.iter()
+    }
+}
+
+impl std::ops::Deref for Snapshot {
+    type Target = [(String, Metric)];
+    fn deref(&self) -> &Self::Target {
+        &self.0
+    }
+}
+
+impl<'a> IntoIterator for &'a Snapshot {
+    type Item = &'a (String, Metric);
+    type IntoIter = std::slice::Iter<'a, (String, Metric)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
 
 static REGISTRY: Mutex<BTreeMap<&'static str, Metric>> = Mutex::new(BTreeMap::new());
 
@@ -173,15 +215,17 @@ pub fn reset() {
 
 /// Sorted copy of the current registry contents.
 pub fn snapshot() -> Snapshot {
-    registry()
-        .iter()
-        .map(|(k, v)| (k.to_string(), v.clone()))
-        .collect()
+    Snapshot::from_entries(
+        registry()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+    )
 }
 
-/// Look up one metric in a snapshot.
+/// Look up one metric in a snapshot (delegates to [`Snapshot::get`]).
 pub fn get<'a>(snap: &'a Snapshot, name: &str) -> Option<&'a Metric> {
-    snap.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+    snap.get(name)
 }
 
 #[cfg(test)]
@@ -233,6 +277,19 @@ mod tests {
             let (lo, hi) = Histogram::bucket_range(b);
             assert!(v >= lo && (v < hi || hi == u64::MAX), "v={v} bucket={b}");
         }
+    }
+
+    #[test]
+    fn from_entries_sorts_and_get_binary_searches() {
+        let snap = Snapshot::from_entries(vec![
+            ("z.last".to_string(), Metric::Counter(3)),
+            ("a.first".to_string(), Metric::Counter(1)),
+            ("m.mid".to_string(), Metric::Gauge(2)),
+        ]);
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.first", "m.mid", "z.last"]);
+        assert_eq!(snap.get("m.mid").unwrap().value(), 2);
+        assert!(snap.get("absent").is_none());
     }
 
     #[test]

@@ -1,0 +1,367 @@
+//! Regression explainer: attribute a failing gate metric to the
+//! sub-metrics that moved it.
+//!
+//! The gate (see [`crate::gate`]) answers *whether* a metric regressed;
+//! this module answers *why*, in the currency the paper argues in —
+//! Table 1 decomposes runtime into kernel/DMA/comm shares, and every
+//! optimization chapter explains which share it moves. The sidecars
+//! encode the same decomposition through metric names: a parent metric
+//! `m` is decomposed by its dotted children `m.<child>` (for example
+//! `wall_cycles` by `wall_cycles.case1.force`, `wall_cycles.case1.pme`,
+//! ...). The explainer diffs each child between the baseline and fresh
+//! documents and reports contributions sorted by impact:
+//!
+//! - `contribution_i = fresh_i - baseline_i` for every child present in
+//!   either document (a missing side reads as 0, so metric loss shows
+//!   up as a negative contribution rather than vanishing);
+//! - `unexplained = delta - sum(contributions)` — the part of the
+//!   observed parent delta the children do not account for. When the
+//!   children partition the parent exactly (the sidecar convention),
+//!   this is floating-point dust; a large value flags a decomposition
+//!   that no longer sums, which is itself a finding.
+//! - A metric with no children attributes its whole delta to itself,
+//!   so every explanation conserves: `sum + unexplained == delta`.
+//!
+//! Ordering is deterministic: contributions sort by `|delta|`
+//! descending with the metric name as tiebreaker, so two runs over the
+//! same documents render byte-identical explanations.
+
+use std::path::Path;
+
+use swprof::json::{self, Value};
+
+use crate::gate;
+
+/// One child metric's share of a parent's observed delta.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Contribution {
+    /// Child metric name (or the parent itself when it has no children).
+    pub metric: String,
+    /// Baseline value (0 when the baseline lacks the child).
+    pub baseline: f64,
+    /// Fresh value (0 when the fresh run lacks the child).
+    pub fresh: f64,
+    /// Signed contribution to the parent delta: `fresh - baseline`.
+    pub delta: f64,
+}
+
+/// Why one gated metric moved: its delta attributed over sub-metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// Sidecar filename the metric came from.
+    pub file: String,
+    /// The failing parent metric.
+    pub metric: String,
+    /// Baseline parent value.
+    pub baseline: f64,
+    /// Fresh parent value (0 when the fresh run dropped the metric).
+    pub fresh: f64,
+    /// Observed parent delta: `fresh - baseline`.
+    pub delta: f64,
+    /// Child contributions, sorted by `|delta|` descending (name
+    /// ascending on ties). All children, not just the rendered top-k.
+    pub contributions: Vec<Contribution>,
+    /// `delta - sum(contributions)`: what the children fail to explain.
+    pub unexplained: f64,
+}
+
+impl Explanation {
+    /// Conservation check: contributions plus the unexplained remainder
+    /// reproduce the observed delta to within floating-point dust.
+    pub fn conserved(&self) -> bool {
+        let sum: f64 = self.contributions.iter().map(|c| c.delta).sum();
+        let eps = 1e-9 * self.delta.abs().max(1.0);
+        (sum + self.unexplained - self.delta).abs() <= eps
+    }
+
+    /// The `k` largest contributions (by the stored ordering).
+    pub fn top(&self, k: usize) -> &[Contribution] {
+        &self.contributions[..k.min(self.contributions.len())]
+    }
+}
+
+/// Explain one parent metric from parsed baseline/fresh documents.
+///
+/// `file` is carried through for reporting. The parent's values are
+/// read with the gate's lookup rules (top-level `wall_cycles` and
+/// friends, everything else under `metrics`); a side missing the parent
+/// reads as 0.
+pub fn explain_metric(file: &str, base: &Value, fresh: &Value, metric: &str) -> Explanation {
+    let base_v = gate::lookup(base, metric).unwrap_or(0.0);
+    let fresh_v = gate::lookup(fresh, metric).unwrap_or(0.0);
+    let delta = fresh_v - base_v;
+
+    let prefix = format!("{metric}.");
+    let mut children: Vec<String> = Vec::new();
+    for doc in [base, fresh] {
+        for (name, _) in gate::metrics_of(doc) {
+            if name.starts_with(&prefix) && !children.contains(&name) {
+                children.push(name);
+            }
+        }
+    }
+
+    let mut contributions: Vec<Contribution> = if children.is_empty() {
+        // No decomposition recorded: the metric explains itself.
+        vec![Contribution {
+            metric: metric.to_string(),
+            baseline: base_v,
+            fresh: fresh_v,
+            delta,
+        }]
+    } else {
+        children
+            .into_iter()
+            .map(|name| {
+                let b = gate::lookup(base, &name).unwrap_or(0.0);
+                let f = gate::lookup(fresh, &name).unwrap_or(0.0);
+                Contribution {
+                    metric: name,
+                    baseline: b,
+                    fresh: f,
+                    delta: f - b,
+                }
+            })
+            .collect()
+    };
+    contributions.sort_by(|a, b| {
+        b.delta
+            .abs()
+            .total_cmp(&a.delta.abs())
+            .then_with(|| a.metric.cmp(&b.metric))
+    });
+    let sum: f64 = contributions.iter().map(|c| c.delta).sum();
+    Explanation {
+        file: file.to_string(),
+        metric: metric.to_string(),
+        baseline: base_v,
+        fresh: fresh_v,
+        delta,
+        contributions,
+        unexplained: delta - sum,
+    }
+}
+
+/// Explain every failing check of a gate report, re-reading the sidecar
+/// pairs from the same directories the gate compared. Files whose fresh
+/// sidecar is missing entirely have nothing to diff and are skipped
+/// (the gate already reports them).
+pub fn explain_report(
+    report: &gate::GateReport,
+    baselines: &Path,
+    fresh: &Path,
+) -> Result<Vec<Explanation>, String> {
+    let mut out = Vec::new();
+    for f in &report.files {
+        if f.missing_fresh {
+            continue;
+        }
+        let failing: Vec<&str> = f
+            .checks
+            .iter()
+            .filter(|c| c.regression)
+            .map(|c| c.metric.as_str())
+            .collect();
+        if failing.is_empty() {
+            continue;
+        }
+        let base_doc = std::fs::read_to_string(baselines.join(&f.name))
+            .map_err(|e| format!("{} (baseline): {e}", f.name))?;
+        let fresh_doc = std::fs::read_to_string(fresh.join(&f.name))
+            .map_err(|e| format!("{} (fresh): {e}", f.name))?;
+        let base = json::parse(&base_doc).map_err(|e| format!("{} (baseline): {e}", f.name))?;
+        let fresh_v = json::parse(&fresh_doc).map_err(|e| format!("{} (fresh): {e}", f.name))?;
+        for metric in failing {
+            out.push(explain_metric(&f.name, &base, &fresh_v, metric));
+        }
+    }
+    Ok(out)
+}
+
+/// Render explanations as a human-readable report. `k` bounds the
+/// contributions printed per metric; the conservation line always
+/// accounts for the full set.
+pub fn render_text(explanations: &[Explanation], k: usize) -> String {
+    let mut out = String::new();
+    for e in explanations {
+        out.push_str(&format!(
+            "EXPLAIN {} {}: {} -> {} (delta {})\n",
+            e.file,
+            e.metric,
+            json::number(e.baseline),
+            json::number(e.fresh),
+            json::number(e.delta),
+        ));
+        for c in e.top(k) {
+            let share = if e.delta.abs() > 1e-12 {
+                format!(" ({:+.1}% of delta)", 100.0 * c.delta / e.delta)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "  {:<40} {} -> {} (delta {}){}\n",
+                c.metric,
+                json::number(c.baseline),
+                json::number(c.fresh),
+                json::number(c.delta),
+                share,
+            ));
+        }
+        let hidden = e.contributions.len().saturating_sub(k);
+        if hidden > 0 {
+            let rest: f64 = e.contributions[k..].iter().map(|c| c.delta).sum();
+            out.push_str(&format!(
+                "  ... {hidden} smaller contribution(s) totalling {}\n",
+                json::number(rest)
+            ));
+        }
+        out.push_str(&format!(
+            "  unexplained remainder: {} (conservation {})\n",
+            json::number(e.unexplained),
+            if e.conserved() { "ok" } else { "VIOLATED" },
+        ));
+    }
+    if explanations.is_empty() {
+        out.push_str("no failing metrics to explain\n");
+    }
+    out
+}
+
+/// Render explanations as a machine-readable JSON document.
+pub fn render_json(explanations: &[Explanation]) -> String {
+    let mut out = String::from("{\"explanations\":[");
+    for (i, e) in explanations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"file\":");
+        out.push_str(&json::escaped(&e.file));
+        out.push_str(",\"metric\":");
+        out.push_str(&json::escaped(&e.metric));
+        out.push_str(",\"baseline\":");
+        out.push_str(&json::number(e.baseline));
+        out.push_str(",\"fresh\":");
+        out.push_str(&json::number(e.fresh));
+        out.push_str(",\"delta\":");
+        out.push_str(&json::number(e.delta));
+        out.push_str(",\"unexplained\":");
+        out.push_str(&json::number(e.unexplained));
+        out.push_str(",\"conserved\":");
+        out.push_str(if e.conserved() { "true" } else { "false" });
+        out.push_str(",\"contributions\":[");
+        for (j, c) in e.contributions.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"metric\":");
+            out.push_str(&json::escaped(&c.metric));
+            out.push_str(",\"baseline\":");
+            out.push_str(&json::number(c.baseline));
+            out.push_str(",\"fresh\":");
+            out.push_str(&json::number(c.fresh));
+            out.push_str(",\"delta\":");
+            out.push_str(&json::number(c.delta));
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(s: &str) -> Value {
+        json::parse(s).unwrap()
+    }
+
+    const BASE: &str = r#"{"name":"demo","metrics":{
+        "wall_cycles.force":800,"wall_cycles.update":150,"wall_cycles.io":50,
+        "case1.pct.force":96.0},
+        "wall_cycles":1000}"#;
+
+    #[test]
+    fn children_partition_the_parent_delta() {
+        // Force got 300 cycles slower, update 20 faster: net +280.
+        let fresh = doc(r#"{"name":"demo","metrics":{
+            "wall_cycles.force":1100,"wall_cycles.update":130,"wall_cycles.io":50,
+            "case1.pct.force":96.0},
+            "wall_cycles":1280}"#);
+        let e = explain_metric("BENCH_demo.json", &doc(BASE), &fresh, "wall_cycles");
+        assert_eq!(e.delta, 280.0);
+        assert!(e.conserved());
+        assert!(e.unexplained.abs() < 1e-9);
+        assert_eq!(e.contributions[0].metric, "wall_cycles.force");
+        assert_eq!(e.contributions[0].delta, 300.0);
+        assert_eq!(e.contributions[1].metric, "wall_cycles.update");
+        assert_eq!(e.contributions[1].delta, -20.0);
+    }
+
+    #[test]
+    fn leaf_metric_explains_itself() {
+        let fresh = doc(r#"{"name":"demo","metrics":{
+            "wall_cycles.force":800,"wall_cycles.update":150,"wall_cycles.io":50,
+            "case1.pct.force":50.0},
+            "wall_cycles":1000}"#);
+        let e = explain_metric("BENCH_demo.json", &doc(BASE), &fresh, "case1.pct.force");
+        assert_eq!(e.contributions.len(), 1);
+        assert_eq!(e.contributions[0].metric, "case1.pct.force");
+        assert_eq!(e.delta, -46.0);
+        assert!(e.conserved());
+    }
+
+    #[test]
+    fn dropped_child_contributes_its_negation() {
+        // The fresh run lost the io row entirely; its -50 must appear.
+        let fresh = doc(r#"{"name":"demo","metrics":{
+            "wall_cycles.force":800,"wall_cycles.update":150,
+            "case1.pct.force":96.0},
+            "wall_cycles":950}"#);
+        let e = explain_metric("BENCH_demo.json", &doc(BASE), &fresh, "wall_cycles");
+        let io = e
+            .contributions
+            .iter()
+            .find(|c| c.metric == "wall_cycles.io")
+            .unwrap();
+        assert_eq!(io.delta, -50.0);
+        assert!(e.conserved());
+    }
+
+    #[test]
+    fn unexplained_flags_a_broken_decomposition() {
+        // Parent moved +500 but the children only explain +100.
+        let fresh = doc(r#"{"name":"demo","metrics":{
+            "wall_cycles.force":900,"wall_cycles.update":150,"wall_cycles.io":50,
+            "case1.pct.force":96.0},
+            "wall_cycles":1500}"#);
+        let e = explain_metric("BENCH_demo.json", &doc(BASE), &fresh, "wall_cycles");
+        assert_eq!(e.delta, 500.0);
+        assert!((e.unexplained - 400.0).abs() < 1e-9);
+        assert!(e.conserved());
+    }
+
+    #[test]
+    fn rendering_is_deterministic_and_parses() {
+        let fresh = doc(r#"{"name":"demo","metrics":{
+            "wall_cycles.force":1100,"wall_cycles.update":130,"wall_cycles.io":50,
+            "case1.pct.force":96.0},
+            "wall_cycles":1280}"#);
+        let e = vec![explain_metric(
+            "BENCH_demo.json",
+            &doc(BASE),
+            &fresh,
+            "wall_cycles",
+        )];
+        assert_eq!(render_text(&e, 2), render_text(&e, 2));
+        let j = render_json(&e);
+        assert_eq!(j, render_json(&e));
+        let v = json::parse(&j).unwrap();
+        let arr = v.get("explanations").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("conserved"), Some(&Value::Bool(true)));
+        let text = render_text(&e, 2);
+        assert!(text.contains("smaller contribution"), "{text}");
+    }
+}

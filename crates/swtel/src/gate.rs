@@ -48,6 +48,12 @@ impl Direction {
 /// Classify a metric name by its dotted/underscored tokens.
 pub fn direction_for(metric: &str) -> Direction {
     let lower = metric.to_ascii_lowercase();
+    // Whole-name rules first: `ns_per_day` and `steps_per_s` are rates
+    // (higher is better) even though their tokens contain the
+    // lower-better time units `ns`/`s`.
+    if lower == "ns_per_day" || lower == "steps_per_s" {
+        return Direction::HigherBetter;
+    }
     for token in lower.split(['.', '_', '/', '-']) {
         match token {
             "speedup" | "bandwidth" | "throughput" | "ratio" | "gflops" | "gbps" | "rate" => {
@@ -251,7 +257,13 @@ impl GateReport {
     }
 }
 
-fn metrics_of(doc: &Value) -> Vec<(String, f64)> {
+/// Sidecar fields that live beside `metrics` at the top level yet gate
+/// like ordinary metrics. `wall_cycles` is the simulated total; the
+/// other three are the host wall-clock observables.
+pub(crate) const TOP_LEVEL_METRICS: [&str; 4] =
+    ["wall_cycles", "wall_ns", "steps_per_s", "ns_per_day"];
+
+pub(crate) fn metrics_of(doc: &Value) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     if let Some(Value::Obj(m)) = doc.get("metrics") {
         for (k, v) in m {
@@ -260,15 +272,17 @@ fn metrics_of(doc: &Value) -> Vec<(String, f64)> {
             }
         }
     }
-    if let Some(n) = doc.get("wall_cycles").and_then(|v| v.as_num()) {
-        out.push(("wall_cycles".to_string(), n));
+    for name in TOP_LEVEL_METRICS {
+        if let Some(n) = doc.get(name).and_then(|v| v.as_num()) {
+            out.push((name.to_string(), n));
+        }
     }
     out
 }
 
-fn lookup(doc: &Value, metric: &str) -> Option<f64> {
-    if metric == "wall_cycles" {
-        doc.get("wall_cycles").and_then(|v| v.as_num())
+pub(crate) fn lookup(doc: &Value, metric: &str) -> Option<f64> {
+    if TOP_LEVEL_METRICS.contains(&metric) {
+        doc.get(metric).and_then(|v| v.as_num())
     } else {
         doc.get("metrics")
             .and_then(|m| m.get(metric))

@@ -34,6 +34,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
+pub mod explain;
 pub mod flight;
 pub mod gate;
 pub mod merge;

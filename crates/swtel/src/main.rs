@@ -6,9 +6,13 @@
 //!     (input i becomes process i; flow ids pass through).
 //!
 //! swtel gate --baselines DIR --fresh DIR [--out FILE]
+//!            [--explain] [--explain-out FILE] [--top K]
 //!     Compare fresh BENCH_*.json sidecars against committed
 //!     baselines. Exit 0 on parity, 1 on regression, 2 on usage/IO
 //!     errors. --out writes the machine-readable verdict JSON.
+//!     --explain attributes every failing metric to its top-K dotted
+//!     sub-metrics (conservation-checked); --explain-out writes the
+//!     attribution as JSON.
 //! ```
 
 use std::path::PathBuf;
@@ -19,7 +23,8 @@ fn die(msg: &str) -> ! {
 }
 
 const USAGE: &str = "swtel merge --out FILE IN1 IN2 ...\n\
-                     swtel gate --baselines DIR --fresh DIR [--out FILE]";
+                     swtel gate --baselines DIR --fresh DIR [--out FILE]\n\
+                     \x20          [--explain] [--explain-out FILE] [--top K]";
 
 fn main() {
     let mut it = std::env::args().skip(1);
@@ -74,17 +79,25 @@ fn gate(mut it: impl Iterator<Item = String>) {
     let mut baselines: Option<PathBuf> = None;
     let mut fresh: Option<PathBuf> = None;
     let mut out: Option<PathBuf> = None;
+    let mut explain = false;
+    let mut explain_out: Option<PathBuf> = None;
+    let mut top_k: usize = 5;
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
-            PathBuf::from(
-                it.next()
-                    .unwrap_or_else(|| die(&format!("{flag} needs a value"))),
-            )
+            it.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
         };
         match arg.as_str() {
-            "--baselines" => baselines = Some(value("--baselines")),
-            "--fresh" => fresh = Some(value("--fresh")),
-            "--out" => out = Some(value("--out")),
+            "--baselines" => baselines = Some(PathBuf::from(value("--baselines"))),
+            "--fresh" => fresh = Some(PathBuf::from(value("--fresh"))),
+            "--out" => out = Some(PathBuf::from(value("--out"))),
+            "--explain" => explain = true,
+            "--explain-out" => explain_out = Some(PathBuf::from(value("--explain-out"))),
+            "--top" => {
+                top_k = value("--top")
+                    .parse()
+                    .unwrap_or_else(|_| die("--top needs an integer"));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -100,5 +113,14 @@ fn gate(mut it: impl Iterator<Item = String>) {
             .unwrap_or_else(|e| die(&format!("{}: {e}", out.display())));
     }
     print!("{}", report.summary());
+    if (explain || explain_out.is_some()) && !report.passed() {
+        let explanations =
+            swtel::explain::explain_report(&report, &baselines, &fresh).unwrap_or_else(|e| die(&e));
+        print!("{}", swtel::explain::render_text(&explanations, top_k));
+        if let Some(path) = explain_out {
+            std::fs::write(&path, swtel::explain::render_json(&explanations))
+                .unwrap_or_else(|e| die(&format!("{}: {e}", path.display())));
+        }
+    }
     std::process::exit(if report.passed() { 0 } else { 1 });
 }

@@ -1,0 +1,84 @@
+//! Property tests for the regression explainer's conservation and
+//! determinism guarantees: however a breakdown is perturbed, the
+//! attributed contributions plus the unexplained remainder reproduce
+//! the observed parent delta, and the top-k ordering is a function of
+//! the documents alone.
+
+use proptest::prelude::*;
+use swprof::json;
+use swtel::explain::{explain_metric, render_json, render_text};
+
+/// Build a sidecar document with `wall_cycles.s<i>` children and a
+/// parent equal to their exact sum.
+fn sidecar(children: &[f64]) -> String {
+    let mut metrics = String::new();
+    let mut total = 0.0;
+    for (i, v) in children.iter().enumerate() {
+        if i > 0 {
+            metrics.push(',');
+        }
+        metrics.push_str(&format!("\"wall_cycles.s{i}\":{}", json::number(*v)));
+        total += v;
+    }
+    format!(
+        "{{\"name\":\"p\",\"metrics\":{{{metrics}}},\"wall_cycles\":{}}}",
+        json::number(total)
+    )
+}
+
+proptest! {
+    #[test]
+    fn contributions_conserve_the_delta(
+        base in prop::collection::vec(0.0f64..1e6, 1..12),
+        perturb in prop::collection::vec(-5e5f64..5e5, 1..12),
+    ) {
+        let fresh: Vec<f64> = base
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + perturb.get(i).copied().unwrap_or(0.0))
+            .collect();
+        let base_doc = json::parse(&sidecar(&base)).unwrap();
+        let fresh_doc = json::parse(&sidecar(&fresh)).unwrap();
+        let e = explain_metric("BENCH_p.json", &base_doc, &fresh_doc, "wall_cycles");
+
+        // Conservation: sum(contributions) + unexplained == delta.
+        prop_assert!(e.conserved());
+        // The children partition the parent exactly by construction, so
+        // the unexplained remainder is floating-point dust.
+        let scale = e.delta.abs().max(1.0);
+        prop_assert!(e.unexplained.abs() <= 1e-9 * scale.max(1e6));
+        // Every child appears exactly once.
+        prop_assert_eq!(e.contributions.len(), base.len().max(fresh.len()));
+    }
+
+    #[test]
+    fn top_k_ordering_is_deterministic(
+        base in prop::collection::vec(0.0f64..1e6, 2..12),
+        perturb in prop::collection::vec(-5e5f64..5e5, 2..12),
+    ) {
+        let fresh: Vec<f64> = base
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + perturb.get(i).copied().unwrap_or(0.0))
+            .collect();
+        let base_doc = json::parse(&sidecar(&base)).unwrap();
+        let fresh_doc = json::parse(&sidecar(&fresh)).unwrap();
+        let a = explain_metric("BENCH_p.json", &base_doc, &fresh_doc, "wall_cycles");
+        let b = explain_metric("BENCH_p.json", &base_doc, &fresh_doc, "wall_cycles");
+
+        // Same inputs render byte-identical explanations.
+        prop_assert_eq!(
+            render_json(std::slice::from_ref(&a)),
+            render_json(std::slice::from_ref(&b))
+        );
+        prop_assert_eq!(render_text(std::slice::from_ref(&a), 3), render_text(&[b], 3));
+        // The stored order is |delta| descending with name tiebreak.
+        for w in a.contributions.windows(2) {
+            let (x, y) = (&w[0], &w[1]);
+            prop_assert!(
+                x.delta.abs() > y.delta.abs()
+                    || (x.delta.abs() == y.delta.abs() && x.metric < y.metric)
+            );
+        }
+    }
+}
