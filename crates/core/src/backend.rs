@@ -1,10 +1,12 @@
-//! Backend certification: the contract a kernel execution substrate
-//! must satisfy before the engine will schedule physics on it.
+//! Backend certification and dispatch: the contract a kernel execution
+//! substrate must satisfy before the engine will schedule physics on
+//! it, and the dispatch seam that routes a kernel variant to one of the
+//! two substrates.
 //!
-//! The simulated [`CoreGroup`](sw26010::CoreGroup) backend runs CPE
-//! "lanes" sequentially on one host thread, so its determinism is free.
-//! The planned `Native` backend (real threads, real SIMD) forfeits that
-//! freedom: the 64 lanes genuinely interleave, and any hidden ordering
+//! The [`MeteredBackend`] runs CPE "lanes" sequentially on one host
+//! thread under the cycle meter, so its determinism is free. The
+//! [`NativeBackend`] (real threads, real SIMD) forfeits that freedom:
+//! the 64 lanes genuinely interleave, and any hidden ordering
 //! assumption becomes a heisenbug. This module is the gate between the
 //! two worlds. A backend earns the right to carry physics by producing
 //! a [`Certificate`]: proof that the `swcheck` happens-before engine
@@ -16,7 +18,16 @@
 //! on this one); the *contract* lives here so the engine can demand a
 //! certificate without a dependency cycle.
 
+use mdsim::nonbonded::NbParams;
+use sw26010::{CoreGroup, NativePool};
+
 use crate::check::Variant;
+use crate::cpelist::CpePairList;
+use crate::kernels::{
+    run_gld_naive, run_ori, run_rca, run_rca_native, run_rma, run_rma_native, run_ustc,
+    run_ustc_native, KernelResult, RmaConfig,
+};
+use crate::package::PackedSystem;
 
 /// How a backend executes kernel lanes, as declared by the backend
 /// itself. Certification requirements scale with the honesty of this
@@ -67,6 +78,19 @@ impl Certificate {
     }
 }
 
+/// Everything a kernel variant consumes: the packed system, the lowered
+/// pair list, and the interaction parameters. Borrowed per invocation
+/// so backends stay stateless with respect to the physics.
+#[derive(Clone, Copy)]
+pub struct KernelInput<'a> {
+    /// Packed particle data (layout per the variant's requirement).
+    pub psys: &'a PackedSystem,
+    /// Lowered cluster pair list (half or full per the variant).
+    pub list: &'a CpePairList,
+    /// Short-range interaction parameters.
+    pub params: &'a NbParams,
+}
+
 /// The execution-substrate contract. A backend is the thing that runs a
 /// spawn region's 64 lanes; the engine only talks to certified ones.
 pub trait KernelBackend {
@@ -75,6 +99,9 @@ pub trait KernelBackend {
 
     /// How this backend's lanes actually execute.
     fn concurrency(&self) -> Concurrency;
+
+    /// Execute one kernel variant on this substrate.
+    fn run(&self, variant: Variant, input: KernelInput<'_>) -> KernelResult;
 }
 
 /// A backend that has been through certification. The supertrait bound
@@ -124,11 +151,16 @@ pub fn assert_certified<B: CertifiedBackend>(backend: &B) {
     }
 }
 
-/// The in-tree simulated backend: sequential lanes on the host thread.
+/// The in-tree simulated backend: sequential lanes on the host thread,
+/// every instruction charged to the cycle meter. This is the substrate
+/// all the paper-figure experiments run on.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct SimulatedBackend;
+pub struct MeteredBackend;
 
-impl SimulatedBackend {
+/// Former name of [`MeteredBackend`], kept for downstream code.
+pub type SimulatedBackend = MeteredBackend;
+
+impl MeteredBackend {
     /// The backend as shipped (no certificate attached yet — tests and
     /// the `swcheck certify` CLI mint one and wrap it in
     /// [`Certified`]).
@@ -137,13 +169,176 @@ impl SimulatedBackend {
     }
 }
 
-impl KernelBackend for SimulatedBackend {
+impl KernelBackend for MeteredBackend {
     fn name(&self) -> &'static str {
         "simulated"
     }
 
     fn concurrency(&self) -> Concurrency {
         Concurrency::Sequential
+    }
+
+    fn run(&self, variant: Variant, input: KernelInput<'_>) -> KernelResult {
+        // A fresh CoreGroup is stateless ({n_cpes}), so per-call
+        // construction keeps the output bit-identical to a shared one.
+        let cg = CoreGroup::new();
+        match variant {
+            Variant::Ori => run_ori(input.psys, input.list, input.params, &cg),
+            Variant::GldNaive => run_gld_naive(input.psys, input.list, input.params, &cg),
+            Variant::Rma => run_rma(input.psys, input.list, input.params, &cg, RmaConfig::MARK),
+            Variant::Rca => run_rca(input.psys, input.list, input.params, &cg),
+            Variant::Ustc => run_ustc(input.psys, input.list, input.params, &cg),
+        }
+    }
+}
+
+/// The native backend: the cluster kernels' 64 lanes run on a
+/// persistent OS-thread pool with the 8-wide SIMD inner loop
+/// (`kernels::native`), unmetered. The `Ori`/`GldNaive` baselines have
+/// no lane parallelism worth owning natively and delegate to the
+/// metered path (bit-identical to [`MeteredBackend`] for those
+/// variants).
+pub struct NativeBackend {
+    pool: NativePool,
+}
+
+impl NativeBackend {
+    /// Pool sized to the host.
+    pub fn new() -> Self {
+        Self {
+            pool: NativePool::new(),
+        }
+    }
+
+    /// Pool with exactly `n_threads` workers; the physics is identical
+    /// at every thread count (see `kernels::native`).
+    pub fn with_threads(n_threads: usize) -> Self {
+        Self {
+            pool: NativePool::with_threads(n_threads),
+        }
+    }
+
+    /// The lane pool (for diagnostics).
+    pub fn pool(&self) -> &NativePool {
+        &self.pool
+    }
+}
+
+impl Default for NativeBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KernelBackend for NativeBackend {
+    fn name(&self) -> &'static str {
+        "native-threads"
+    }
+
+    fn concurrency(&self) -> Concurrency {
+        Concurrency::Threads
+    }
+
+    fn run(&self, variant: Variant, input: KernelInput<'_>) -> KernelResult {
+        match variant {
+            Variant::Ori => run_ori(input.psys, input.list, input.params, &CoreGroup::new()),
+            Variant::GldNaive => {
+                run_gld_naive(input.psys, input.list, input.params, &CoreGroup::new())
+            }
+            Variant::Rma => run_rma_native(input.psys, input.list, input.params, &self.pool),
+            Variant::Rca => run_rca_native(input.psys, input.list, input.params, &self.pool),
+            Variant::Ustc => run_ustc_native(input.psys, input.list, input.params, &self.pool),
+        }
+    }
+}
+
+/// Backend selector for configuration surfaces (engine config, CLI
+/// flags, certify options) that must stay `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendSel {
+    /// The cycle-metered sequential simulator ([`MeteredBackend`]).
+    Metered,
+    /// The thread-pool + real-SIMD backend ([`NativeBackend`]).
+    Native,
+}
+
+impl BackendSel {
+    /// CLI spelling ("metered" / "native").
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            BackendSel::Metered => "metered",
+            BackendSel::Native => "native",
+        }
+    }
+
+    /// The [`KernelBackend::name`] of the selected backend — the name
+    /// certificates are minted under.
+    pub fn backend_name(self) -> &'static str {
+        match self {
+            BackendSel::Metered => "simulated",
+            BackendSel::Native => "native-threads",
+        }
+    }
+
+    /// Parse either the CLI spelling or the backend name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "metered" | "simulated" => Some(BackendSel::Metered),
+            "native" | "native-threads" => Some(BackendSel::Native),
+            _ => None,
+        }
+    }
+}
+
+/// A concrete backend behind one non-generic type, so the engine and
+/// the checker can hold "whichever backend was selected" without
+/// turning generic themselves.
+pub enum AnyBackend {
+    /// The metered simulator.
+    Metered(MeteredBackend),
+    /// The native thread-pool backend.
+    Native(NativeBackend),
+}
+
+impl AnyBackend {
+    /// Instantiate the selected backend (the native pool is sized to
+    /// the host).
+    pub fn of(sel: BackendSel) -> Self {
+        match sel {
+            BackendSel::Metered => AnyBackend::Metered(MeteredBackend::new()),
+            BackendSel::Native => AnyBackend::Native(NativeBackend::new()),
+        }
+    }
+
+    /// Which selector built this backend.
+    pub fn sel(&self) -> BackendSel {
+        match self {
+            AnyBackend::Metered(_) => BackendSel::Metered,
+            AnyBackend::Native(_) => BackendSel::Native,
+        }
+    }
+}
+
+impl KernelBackend for AnyBackend {
+    fn name(&self) -> &'static str {
+        match self {
+            AnyBackend::Metered(b) => b.name(),
+            AnyBackend::Native(b) => b.name(),
+        }
+    }
+
+    fn concurrency(&self) -> Concurrency {
+        match self {
+            AnyBackend::Metered(b) => b.concurrency(),
+            AnyBackend::Native(b) => b.concurrency(),
+        }
+    }
+
+    fn run(&self, variant: Variant, input: KernelInput<'_>) -> KernelResult {
+        match self {
+            AnyBackend::Metered(b) => b.run(variant, input),
+            AnyBackend::Native(b) => b.run(variant, input),
+        }
     }
 }
 
@@ -182,6 +377,10 @@ impl<B: KernelBackend> KernelBackend for Certified<B> {
     fn concurrency(&self) -> Concurrency {
         self.backend.concurrency()
     }
+
+    fn run(&self, variant: Variant, input: KernelInput<'_>) -> KernelResult {
+        self.backend.run(variant, input)
+    }
 }
 
 impl<B: KernelBackend> CertifiedBackend for Certified<B> {
@@ -211,7 +410,7 @@ mod tests {
 
     #[test]
     fn full_certificate_admits_the_backend() {
-        let c = Certified::admit(SimulatedBackend::new(), full_cert("simulated", 200));
+        let c = Certified::admit(MeteredBackend::new(), full_cert("simulated", 200));
         assert_eq!(c.name(), "simulated");
         assert_eq!(c.concurrency(), Concurrency::Sequential);
         assert!(c.certificate().covers_all_variants(200));
@@ -222,18 +421,35 @@ mod tests {
     fn missing_variant_is_rejected() {
         let mut cert = full_cert("simulated", 200);
         cert.variants.retain(|c| c.variant != Variant::Rma);
-        Certified::admit(SimulatedBackend::new(), cert);
+        Certified::admit(MeteredBackend::new(), cert);
     }
 
     #[test]
     #[should_panic(expected = "explored only 10 schedules")]
     fn underexplored_certificate_is_rejected() {
-        Certified::admit(SimulatedBackend::new(), full_cert("simulated", 10));
+        Certified::admit(MeteredBackend::new(), full_cert("simulated", 10));
     }
 
     #[test]
     #[should_panic(expected = "presented by backend")]
     fn certificate_for_another_backend_is_rejected() {
-        Certified::admit(SimulatedBackend::new(), full_cert("native-threads", 200));
+        Certified::admit(MeteredBackend::new(), full_cert("native-threads", 200));
+    }
+
+    #[test]
+    fn backend_sel_round_trips() {
+        for sel in [BackendSel::Metered, BackendSel::Native] {
+            assert_eq!(BackendSel::from_name(sel.cli_name()), Some(sel));
+            assert_eq!(BackendSel::from_name(sel.backend_name()), Some(sel));
+            assert_eq!(AnyBackend::of(sel).sel(), sel);
+        }
+        assert_eq!(BackendSel::from_name("gpu"), None);
+    }
+
+    #[test]
+    fn native_backend_declares_thread_concurrency() {
+        let b = NativeBackend::with_threads(2);
+        assert_eq!(b.name(), "native-threads");
+        assert_eq!(b.concurrency(), Concurrency::Threads);
     }
 }

@@ -13,10 +13,9 @@ use mdsim::nonbonded::NbParams;
 use mdsim::pairlist::{ListKind, PairList};
 use mdsim::water::water_box;
 use sw26010::trace::{self, Event, RegionId};
-use sw26010::CoreGroup;
 
+use crate::backend::{AnyBackend, BackendSel, KernelBackend, KernelInput};
 use crate::cpelist::CpePairList;
-use crate::kernels::{run_gld_naive, run_ori, run_rca, run_rma, run_ustc, RmaConfig};
 use crate::package::{PackageLayout, PackedSystem};
 
 /// Region: the packed particle positions (`PackedSystem::pos`).
@@ -157,11 +156,17 @@ pub fn physics_checksum(forces: &[mdsim::Vec3], energies: &mdsim::nonbonded::NbE
     h
 }
 
-/// Run `variant` on a seeded water box of `n_mol` molecules and return
-/// its full [`KernelResult`] (forces, energies, counters, per-phase
-/// breakdown). The shared entry point for the checker ([`run_traced`])
-/// and the swlens roofline collector.
-pub fn run_variant(variant: Variant, n_mol: usize, seed: u64) -> crate::kernels::KernelResult {
+/// Run `variant` on `backend` over a seeded water box of `n_mol`
+/// molecules and return its full [`KernelResult`] (forces, energies,
+/// counters, per-phase breakdown). The shared workload constructor for
+/// the checker, the certification harness, and the roofline collector —
+/// both backends see byte-identical inputs for a given `(n_mol, seed)`.
+pub fn run_variant_with(
+    backend: &AnyBackend,
+    variant: Variant,
+    n_mol: usize,
+    seed: u64,
+) -> crate::kernels::KernelResult {
     let r_cut = 0.7f32;
     let sys = water_box(n_mol, 300.0, seed);
     let params = NbParams {
@@ -174,26 +179,42 @@ pub fn run_variant(variant: Variant, n_mol: usize, seed: u64) -> crate::kernels:
     };
     let list = PairList::build(&sys, r_cut, kind);
     let cpe = CpePairList::build(&sys, &list);
+    // The native cluster kernels vectorize over the transposed layout,
+    // so Rca/Ustc switch layouts there; the metered path keeps the
+    // layouts the paper's figures were measured with.
     let layout = match variant {
         Variant::Rma => PackageLayout::Transposed,
+        Variant::Rca | Variant::Ustc if backend.sel() == BackendSel::Native => {
+            PackageLayout::Transposed
+        }
         _ => PackageLayout::Interleaved,
     };
     let psys = PackedSystem::build(&sys, list.clustering.clone(), layout);
-    let cg = CoreGroup::new();
-    match variant {
-        Variant::Ori => run_ori(&psys, &cpe, &params, &cg),
-        Variant::GldNaive => run_gld_naive(&psys, &cpe, &params, &cg),
-        Variant::Rma => run_rma(&psys, &cpe, &params, &cg, RmaConfig::MARK),
-        Variant::Rca => run_rca(&psys, &cpe, &params, &cg),
-        Variant::Ustc => run_ustc(&psys, &cpe, &params, &cg),
-    }
+    backend.run(
+        variant,
+        KernelInput {
+            psys: &psys,
+            list: &cpe,
+            params: &params,
+        },
+    )
 }
 
-/// Run `variant` on a seeded water box of `n_mol` molecules under a
-/// trace capture session and return the event stream plus contract.
-pub fn run_traced(variant: Variant, n_mol: usize, seed: u64) -> TracedRun {
+/// [`run_variant_with`] on the metered backend (the historical default).
+pub fn run_variant(variant: Variant, n_mol: usize, seed: u64) -> crate::kernels::KernelResult {
+    run_variant_with(&AnyBackend::of(BackendSel::Metered), variant, n_mol, seed)
+}
+
+/// Run `variant` on `backend` under a trace capture session and return
+/// the event stream plus contract.
+pub fn run_traced_with(
+    backend: &AnyBackend,
+    variant: Variant,
+    n_mol: usize,
+    seed: u64,
+) -> TracedRun {
     let session = trace::Session::begin();
-    let result = run_variant(variant, n_mol, seed);
+    let result = run_variant_with(backend, variant, n_mol, seed);
     let events = session.finish();
     TracedRun {
         contract: variant.contract(),
@@ -201,6 +222,11 @@ pub fn run_traced(variant: Variant, n_mol: usize, seed: u64) -> TracedRun {
         cycles: result.total.cycles,
         checksum: physics_checksum(&result.forces, &result.energies),
     }
+}
+
+/// [`run_traced_with`] on the metered backend (the historical default).
+pub fn run_traced(variant: Variant, n_mol: usize, seed: u64) -> TracedRun {
+    run_traced_with(&AnyBackend::of(BackendSel::Metered), variant, n_mol, seed)
 }
 
 #[cfg(test)]

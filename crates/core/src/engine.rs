@@ -28,9 +28,11 @@ use sw26010::cg::CoreGroup;
 use sw26010::perf::{Breakdown, PerfCounters};
 use swnet::{NetParams, Topology, Transport};
 
+use crate::backend::{AnyBackend, BackendSel, KernelBackend, KernelInput};
+use crate::check::Variant;
 use crate::cpelist::CpePairList;
 use crate::fastio;
-use crate::kernels::{run_ori, run_rma, KernelResult, RmaConfig};
+use crate::kernels::KernelResult;
 use crate::package::{PackageLayout, PackedSystem};
 use crate::pairgen;
 
@@ -85,6 +87,11 @@ pub struct EngineConfig {
     /// paper's benchmark uses PME (Table 3); GROMACS folds the mesh time
     /// into the Force row of Table 1, and so do we.
     pub pme_grid: Option<usize>,
+    /// Which execution substrate carries the force kernels: the
+    /// cycle-metered simulator (paper-figure runs) or the native
+    /// thread-pool backend (wall-clock runs). Everything outside the
+    /// force stage is backend-independent.
+    pub backend: BackendSel,
 }
 
 impl EngineConfig {
@@ -100,6 +107,7 @@ impl EngineConfig {
             constraints: true,
             t_ref: Some(300.0),
             pme_grid: None,
+            backend: BackendSel::Metered,
         }
     }
 
@@ -143,6 +151,7 @@ pub struct Engine {
     /// The live system.
     pub sys: System,
     config: EngineConfig,
+    backend: AnyBackend,
     cg: CoreGroup,
     list: Option<PairList>,
     constraints: Option<ConstraintSet>,
@@ -195,6 +204,7 @@ impl Engine {
         });
         Self {
             sys,
+            backend: AnyBackend::of(config.backend),
             config,
             cg: CoreGroup::new(),
             list: None,
@@ -357,16 +367,19 @@ impl Engine {
         if self.degraded {
             effective = Version::Ori;
         }
-        let result: KernelResult = match effective {
-            Version::Ori => run_ori(&psys, &cpelist, &self.config.params, &self.cg),
-            _ => run_rma(
-                &psys,
-                &cpelist,
-                &self.config.params,
-                &self.cg,
-                RmaConfig::MARK,
-            ),
+        let variant = if effective == Version::Ori {
+            Variant::Ori
+        } else {
+            Variant::Rma
         };
+        let result: KernelResult = self.backend.run(
+            variant,
+            KernelInput {
+                psys: &psys,
+                list: &cpelist,
+                params: &self.config.params,
+            },
+        );
         swprof::tick(result.total.cycles);
         swtel::flight::record("stage", "Force", result.total.cycles, 0);
         if swprof::enabled() {

@@ -13,10 +13,16 @@
 //! - [`ustc::run_ustc`] — MPE-applies-updates pipeline (USTC \[29\])
 //! - [`bonded_cpe::run_bonded_cpe`] — bonds/angles/dihedrals distributed
 //!   over CPEs by molecule (conflict-free by construction)
+//!
+//! The `native` module holds the wall-clock twins of `rma`/`rca`/`ustc`
+//! for the thread-pool backend (same physics, real SIMD, no metering);
+//! `native_simd` is their 8-wide inner loop.
 
 pub mod bonded_cpe;
 pub mod common;
 pub mod gldnaive;
+pub mod native;
+pub mod native_simd;
 pub mod ori;
 pub mod rca;
 pub mod rma;
@@ -25,6 +31,7 @@ pub mod ustc;
 pub use bonded_cpe::run_bonded_cpe;
 pub use common::{Arith, KernelResult};
 pub use gldnaive::run_gld_naive;
+pub use native::{run_rca_native, run_rma_native, run_ustc_native};
 pub use ori::run_ori;
 pub use rca::run_rca;
 pub use rma::{run_rma, RmaConfig};

@@ -1,0 +1,718 @@
+//! Native-backend runners for the cluster kernels: the 64 CPE lanes of
+//! `rma`/`rca`/`ustc` execute on a persistent OS-thread pool
+//! ([`sw26010::NativePool`]) with the 8-wide SIMD inner loop of
+//! [`super::native_simd`], instead of sequentially under the cycle
+//! meter.
+//!
+//! **Determinism contract.** The pool schedule is nondeterministic, so
+//! every source of ordering is pinned in the kernels themselves:
+//!
+//! 1. work partition — each logical lane owns the same [`lane_range`]
+//!    slice of the outer clusters (the metered `block_range` split) at
+//!    every thread count;
+//! 2. per-lane iteration — clusters in index order, list entries in
+//!    list order (self entry first, then pairs of two, then the tail);
+//! 3. merging — all cross-lane accumulation (force copies, energies,
+//!    MPE record application) happens after the pool join, in
+//!    lane-index order, exactly like the metered reduce.
+//!
+//! Together these make the physics bit-identical run to run and across
+//! thread counts 1..=64 — the property `tests/backend_differential.rs`
+//! pins and schedule certification (swcheck SWC110–113) admits.
+//!
+//! **Trace shape.** When a capture session is active each runner emits
+//! the same region/annotation vocabulary as its metered twin: a spawn
+//! epoch per phase, per-lane `SharedRead`s of the positions, disjoint
+//! per-lane `SharedWrite`s of the copy/force regions, and — for RMA —
+//! `MarkSet`/`ReduceLine` pairs carrying the Bit-Map coverage, so the
+//! happens-before engine certifies the native interleavings against the
+//! identical invariants (one reduce per marked line, no unordered
+//! conflicting access).
+
+use std::ops::Range;
+use std::sync::Mutex;
+
+use mdsim::nonbonded::{NbEnergies, NbParams};
+use mdsim::pairlist::ListKind;
+use sw26010::cache::CacheGeometry;
+use sw26010::perf::{Breakdown, PerfCounters};
+use sw26010::pool::{NativePool, N_LANES};
+use sw26010::{trace, BitMap};
+
+use crate::check::{REGION_COPIES, REGION_FORCES, REGION_POS};
+use crate::cpelist::CpePairList;
+use crate::kernels::common::{add_energy, KernelResult};
+use crate::kernels::native_simd::{cluster_pair_wide4, cluster_pair_wide8, EntryJ, WideFi};
+use crate::package::{PackageLayout, PackedSystem, FORCE_WORDS};
+
+/// The outer-cluster slice logical lane `lane` owns: the same split as
+/// the metered `CoreGroup::block_range`, fixed at 64 lanes regardless
+/// of how many OS threads serve them.
+pub fn lane_range(n: usize, lane: usize) -> Range<usize> {
+    let per = n.div_ceil(N_LANES);
+    (lane * per).min(n)..((lane + 1) * per).min(n)
+}
+
+/// Destination for inner-cluster reaction packages: the kernels
+/// accumulate straight into the slot a sink hands out, so per-entry
+/// stack buffers and a copy pass never exist. Slots for distinct
+/// clusters must not alias; [`ReactionSink::slot2`] implementations
+/// may panic on `cj0 == cj1` (the caller routes that case — absent
+/// from real lists, where a cluster appears at most once per neighbor
+/// row — through two single-slot calls).
+trait ReactionSink {
+    fn slot(&mut self, cj: usize) -> &mut [f32; FORCE_WORDS];
+    fn slot2(
+        &mut self,
+        cj0: usize,
+        cj1: usize,
+    ) -> (&mut [f32; FORCE_WORDS], &mut [f32; FORCE_WORDS]);
+}
+
+/// Walk every list entry of outer cluster `ci` with the wide inner
+/// loop: entries two at a time through the 8-lane kernel, an odd tail
+/// through the FloatV4 path. `fi` accumulates the outer forces; the
+/// `sink` provides each inner cluster's reaction accumulation slot (in
+/// a fixed order — pairs first, tail last). With `fold_self`, self
+/// entries (`cj == ci`) are processed first and their reaction folded
+/// into `fi`, mirroring the metered half-list kernels; without it they
+/// flow through `sink` like any other entry (the RCA convention).
+/// Returns `(e_lj, e_coul, n_pairs)`.
+#[allow(clippy::too_many_arguments)]
+fn process_cluster(
+    psys: &PackedSystem,
+    list: &CpePairList,
+    ci: usize,
+    params: &NbParams,
+    fold_self: bool,
+    fi: &mut [f32; FORCE_WORDS],
+    sink: &mut impl ReactionSink,
+    scratch: &mut Vec<usize>,
+) -> (f64, f64, u64) {
+    let lj = |ta: usize, tb: usize| psys.lj(ta, tb);
+    let entry_of = |e: usize| EntryJ {
+        pkg: psys.package(list.neighbors[e] as usize),
+        shift: list.shifts[e],
+        mask: list.masks[e],
+    };
+    let pkg_i = psys.package(ci);
+    let mut e_lj = 0.0f64;
+    let mut e_coul = 0.0f64;
+    let mut n = 0u64;
+
+    scratch.clear();
+    for e in list.entries_of(ci) {
+        if fold_self && list.neighbors[e] as usize == ci {
+            let mut fj = [0.0f32; FORCE_WORDS];
+            let (el, ec, m) = cluster_pair_wide4(pkg_i, entry_of(e), params, &lj, fi, &mut fj);
+            e_lj += el;
+            e_coul += ec;
+            n += m as u64;
+            for k in 0..FORCE_WORDS {
+                fi[k] += fj[k];
+            }
+        } else {
+            scratch.push(e);
+        }
+    }
+    let mut wfi = WideFi::ZERO;
+    let n_wide = scratch.len() / 2;
+    for i in 0..n_wide {
+        let pair = [scratch[2 * i], scratch[2 * i + 1]];
+        let cj0 = list.neighbors[pair[0]] as usize;
+        let cj1 = list.neighbors[pair[1]] as usize;
+        if cj0 != cj1 {
+            let (fj0, fj1) = sink.slot2(cj0, cj1);
+            let (el, ec, m) = cluster_pair_wide8(
+                pkg_i,
+                entry_of(pair[0]),
+                entry_of(pair[1]),
+                params,
+                &lj,
+                &mut wfi,
+                fj0,
+                fj1,
+            );
+            e_lj += el;
+            e_coul += ec;
+            n += m as u64;
+        } else {
+            // Duplicate neighbor rows never come out of the list
+            // builder, but stay correct if one ever does: both slots
+            // would alias, so take them one at a time.
+            for e in pair {
+                let (el, ec, m) =
+                    cluster_pair_wide4(pkg_i, entry_of(e), params, &lj, fi, sink.slot(cj0));
+                e_lj += el;
+                e_coul += ec;
+                n += m as u64;
+            }
+        }
+    }
+    // One horizontal reduction for the whole pairs walk (the lane-slot
+    // accumulation order is fixed, so this stays deterministic).
+    wfi.fold_into(fi);
+    for &e in &scratch[2 * n_wide..] {
+        let cj = list.neighbors[e] as usize;
+        let (el, ec, m) = cluster_pair_wide4(pkg_i, entry_of(e), params, &lj, fi, sink.slot(cj));
+        e_lj += el;
+        e_coul += ec;
+        n += m as u64;
+    }
+    (e_lj, e_coul, n)
+}
+
+fn lane_slots<T>() -> Vec<Mutex<Option<T>>> {
+    (0..N_LANES).map(|_| Mutex::new(None)).collect()
+}
+
+fn take_slots<T>(slots: Vec<Mutex<Option<T>>>) -> Vec<T> {
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("every lane stores its output")
+        })
+        .collect()
+}
+
+/// Zero-cycle result shell: the native backend reports wall time (the
+/// bench sidecar measures it), not simulated cycles, so counters and
+/// phase breakdowns are empty.
+fn native_result(psys: &PackedSystem, slot_forces: &[f32], energies: NbEnergies) -> KernelResult {
+    KernelResult {
+        forces: psys.forces_to_particle_order(slot_forces),
+        energies,
+        total: PerfCounters::new(),
+        phases: Breakdown::new(),
+        read_miss_ratio: 0.0,
+        write_miss_ratio: 0.0,
+    }
+}
+
+/// Recycled per-lane force-copy buffers. A fresh `vec![0.0; ..]` per
+/// lane per call hands back brand-new zero pages from the allocator, so
+/// every kernel invocation re-faults ~`N_LANES × copy_words × 4` bytes
+/// of memory (tens of MB on the paper workloads) before doing any work.
+/// Reused buffers carry stale data instead, which is safe because the
+/// calc phase zeroes each cache line's words on first touch (guarded by
+/// the same Bit-Map the reduce phase consults — an unmarked line is
+/// never read).
+static COPY_POOL: Mutex<Vec<Vec<f32>>> = Mutex::new(Vec::new());
+
+fn copy_buffer(copy_words: usize) -> Vec<f32> {
+    let mut buf = COPY_POOL.lock().unwrap().pop().unwrap_or_default();
+    // Growing appends zeros (fine); shrinking truncates. Existing
+    // elements keep their stale values — first-touch zeroing owns them.
+    buf.resize(copy_words, 0.0);
+    buf
+}
+
+fn recycle_copies(outs: impl IntoIterator<Item = Vec<f32>>) {
+    let mut pool = COPY_POOL.lock().unwrap();
+    pool.extend(outs.into_iter().filter(|b| !b.is_empty()));
+    // Bound what the pool retains across differently-sized workloads.
+    let keep = N_LANES;
+    if pool.len() > keep {
+        pool.drain(keep..);
+    }
+}
+
+/// RMA sink: slots point into the lane's redundant force copy. First
+/// touch of a cache line marks it in the Bit-Map and zeroes its words
+/// (the copy buffer is recycled, see [`COPY_POOL`]).
+struct CopySink<'a> {
+    copy: &'a mut [f32],
+    marks: &'a mut BitMap,
+    line_elems: usize,
+    line_words: usize,
+}
+
+impl CopySink<'_> {
+    #[inline]
+    fn touch(&mut self, cj: usize) {
+        let line = cj / self.line_elems;
+        if !self.marks.get(line) {
+            self.marks.set(line);
+            let lo = line * self.line_words;
+            let hi = (lo + self.line_words).min(self.copy.len());
+            self.copy[lo..hi].fill(0.0);
+        }
+    }
+}
+
+impl ReactionSink for CopySink<'_> {
+    #[inline]
+    fn slot(&mut self, cj: usize) -> &mut [f32; FORCE_WORDS] {
+        self.touch(cj);
+        let base = cj * FORCE_WORDS;
+        (&mut self.copy[base..base + FORCE_WORDS])
+            .try_into()
+            .unwrap()
+    }
+
+    #[inline]
+    fn slot2(
+        &mut self,
+        cj0: usize,
+        cj1: usize,
+    ) -> (&mut [f32; FORCE_WORDS], &mut [f32; FORCE_WORDS]) {
+        self.touch(cj0);
+        self.touch(cj1);
+        let b0 = cj0 * FORCE_WORDS;
+        let b1 = cj1 * FORCE_WORDS;
+        if b0 < b1 {
+            let (lo, hi) = self.copy.split_at_mut(b1);
+            (
+                (&mut lo[b0..b0 + FORCE_WORDS]).try_into().unwrap(),
+                (&mut hi[..FORCE_WORDS]).try_into().unwrap(),
+            )
+        } else {
+            // cj0 == cj1 would slice past `lo` and panic — the caller
+            // guarantees distinct clusters here.
+            let (lo, hi) = self.copy.split_at_mut(b0);
+            (
+                (&mut hi[..FORCE_WORDS]).try_into().unwrap(),
+                (&mut lo[b1..b1 + FORCE_WORDS]).try_into().unwrap(),
+            )
+        }
+    }
+}
+
+/// RCA sink: Algorithm 2 discards reactions, so slots are scratch pads
+/// that accumulate garbage nobody reads.
+struct DiscardSink {
+    a: [f32; FORCE_WORDS],
+    b: [f32; FORCE_WORDS],
+}
+
+impl ReactionSink for DiscardSink {
+    #[inline]
+    fn slot(&mut self, _cj: usize) -> &mut [f32; FORCE_WORDS] {
+        &mut self.a
+    }
+
+    #[inline]
+    fn slot2(
+        &mut self,
+        _cj0: usize,
+        _cj1: usize,
+    ) -> (&mut [f32; FORCE_WORDS], &mut [f32; FORCE_WORDS]) {
+        (&mut self.a, &mut self.b)
+    }
+}
+
+/// USTC sink: every slot is a fresh `(cluster, forces)` record the MPE
+/// applies after the join, exactly one record per list entry.
+struct RecordSink {
+    records: Vec<(u32, [f32; FORCE_WORDS])>,
+}
+
+impl ReactionSink for RecordSink {
+    #[inline]
+    fn slot(&mut self, cj: usize) -> &mut [f32; FORCE_WORDS] {
+        self.records.push((cj as u32, [0.0f32; FORCE_WORDS]));
+        &mut self.records.last_mut().unwrap().1
+    }
+
+    #[inline]
+    fn slot2(
+        &mut self,
+        cj0: usize,
+        cj1: usize,
+    ) -> (&mut [f32; FORCE_WORDS], &mut [f32; FORCE_WORDS]) {
+        self.records.push((cj0 as u32, [0.0f32; FORCE_WORDS]));
+        self.records.push((cj1 as u32, [0.0f32; FORCE_WORDS]));
+        let (last, rest) = self.records.split_last_mut().unwrap();
+        (&mut rest.last_mut().unwrap().1, &mut last.1)
+    }
+}
+
+/// Per-lane calc output of the native RMA kernel.
+struct RmaLaneOut {
+    copy: Vec<f32>,
+    marks: BitMap,
+    cache_id: u64,
+    e_lj: f64,
+    e_coul: f64,
+    n_pairs: u64,
+}
+
+/// Native twin of [`super::rma::run_rma`] at the `Mark` rung: per-lane
+/// redundant force copies with Bit-Map marks, reduced in lane order.
+pub fn run_rma_native(
+    psys: &PackedSystem,
+    list: &CpePairList,
+    params: &NbParams,
+    pool: &NativePool,
+) -> KernelResult {
+    assert_eq!(list.kind, ListKind::Half, "RMA kernels walk a half list");
+    assert_eq!(
+        psys.layout,
+        PackageLayout::Transposed,
+        "the native RMA kernel is SIMD-only and needs the transposed layout"
+    );
+    let n_pkg = psys.n_packages();
+    let geo = CacheGeometry::paper_default(FORCE_WORDS);
+    let line_elems = geo.line_elems;
+    let n_lines = n_pkg.div_ceil(line_elems);
+    let line_words = geo.line_words();
+    let copy_words = n_pkg * FORCE_WORDS;
+    let tracing = trace::enabled();
+
+    // ---- calculation phase ----
+    let slots = lane_slots::<RmaLaneOut>();
+    swprof::next_region_label("rma_native.calc");
+    let epoch = trace::begin_region(N_LANES);
+    pool.run(N_LANES, |lane| {
+        let range = lane_range(n_pkg, lane);
+        let cache_id = trace::next_cache_id();
+        let mut copy = if range.is_empty() {
+            Vec::new()
+        } else {
+            copy_buffer(copy_words)
+        };
+        let mut marks = BitMap::new(n_lines);
+        let mut e_lj = 0.0f64;
+        let mut e_coul = 0.0f64;
+        let mut n_pairs = 0u64;
+        let mut scratch = Vec::new();
+        let mut sink = CopySink {
+            copy: &mut copy,
+            marks: &mut marks,
+            line_elems,
+            line_words,
+        };
+        for ci in range.clone() {
+            let mut fi = [0.0f32; FORCE_WORDS];
+            let (el, ec, n) = process_cluster(
+                psys,
+                list,
+                ci,
+                params,
+                true,
+                &mut fi,
+                &mut sink,
+                &mut scratch,
+            );
+            for (d, v) in sink.slot(ci).iter_mut().zip(&fi) {
+                *d += v;
+            }
+            e_lj += el;
+            e_coul += ec;
+            n_pairs += n;
+        }
+        if tracing && !range.is_empty() {
+            trace::shared_read(REGION_POS, 0, psys.pos.len());
+            trace::shared_write(REGION_COPIES, lane * copy_words, (lane + 1) * copy_words);
+            for line in 0..n_lines {
+                if marks.get(line) {
+                    trace::emit_mark_set(cache_id, line);
+                }
+            }
+        }
+        *slots[lane].lock().unwrap() = Some(RmaLaneOut {
+            copy,
+            marks,
+            cache_id,
+            e_lj,
+            e_coul,
+            n_pairs,
+        });
+    });
+    trace::end_region(epoch);
+    let outs = take_slots(slots);
+
+    // ---- reduction phase: lanes own line ranges, sum marked copies in
+    // lane order (the Bit-Map reduce, Alg. 4) ----
+    let partials = lane_slots::<(Range<usize>, Vec<f32>)>();
+    swprof::next_region_label("rma_native.reduce");
+    let epoch = trace::begin_region(N_LANES);
+    pool.run(N_LANES, |lane| {
+        let line_range = lane_range(n_lines, lane);
+        let mut partial = vec![0.0f32; line_range.len() * line_words];
+        let mut consumed = false;
+        for (li, line) in line_range.clone().enumerate() {
+            let word_lo = line * line_words;
+            let word_hi = (word_lo + line_words).min(copy_words);
+            let acc_base = li * line_words;
+            for o in &outs {
+                if !o.marks.get(line) {
+                    continue; // unmarked -> skip, exactly like Alg. 4
+                }
+                if tracing {
+                    trace::reduce_line(o.cache_id, line);
+                }
+                consumed = true;
+                for (k, w) in (word_lo..word_hi).enumerate() {
+                    partial[acc_base + k] += o.copy[w];
+                }
+            }
+        }
+        if tracing && !line_range.is_empty() {
+            if consumed {
+                trace::shared_read(REGION_COPIES, 0, N_LANES * copy_words);
+            }
+            let word_lo = line_range.start * line_words;
+            let word_hi = (line_range.end * line_words).min(copy_words);
+            if word_lo < word_hi {
+                trace::shared_write(REGION_FORCES, word_lo, word_hi);
+            }
+        }
+        *partials[lane].lock().unwrap() = Some((line_range, partial));
+    });
+    trace::end_region(epoch);
+
+    let mut slot_forces = vec![0.0f32; copy_words];
+    for (line_range, partial) in take_slots(partials) {
+        if line_range.is_empty() {
+            continue;
+        }
+        let word_lo = line_range.start * line_words;
+        let n = partial.len().min(copy_words.saturating_sub(word_lo));
+        slot_forces[word_lo..word_lo + n].copy_from_slice(&partial[..n]);
+    }
+
+    let mut energies = NbEnergies::default();
+    for o in &outs {
+        add_energy(&mut energies, o.e_lj, o.e_coul, o.n_pairs as u32, false);
+    }
+    energies.pairs_within_cutoff = outs.iter().map(|o| o.n_pairs).sum();
+    recycle_copies(outs.into_iter().map(|o| o.copy));
+    native_result(psys, &slot_forces, energies)
+}
+
+/// Native twin of [`super::rca::run_rca`]: full list, redundant
+/// compute, conflict-free per-lane force writes (no reduction).
+pub fn run_rca_native(
+    psys: &PackedSystem,
+    list: &CpePairList,
+    params: &NbParams,
+    pool: &NativePool,
+) -> KernelResult {
+    assert_eq!(list.kind, ListKind::Full, "RCA walks a full list");
+    assert_eq!(
+        psys.layout,
+        PackageLayout::Transposed,
+        "the native RCA kernel is SIMD-only and needs the transposed layout"
+    );
+    let n_pkg = psys.n_packages();
+    let tracing = trace::enabled();
+
+    let slots = lane_slots::<(Range<usize>, Vec<f32>, f64, f64, u64)>();
+    swprof::next_region_label("rca_native.calc");
+    let epoch = trace::begin_region(N_LANES);
+    pool.run(N_LANES, |lane| {
+        let range = lane_range(n_pkg, lane);
+        let mut block = vec![0.0f32; range.len() * FORCE_WORDS];
+        let mut e_lj = 0.0f64;
+        let mut e_coul = 0.0f64;
+        let mut n_pairs = 0u64;
+        let mut scratch = Vec::new();
+        let mut sink = DiscardSink {
+            a: [0.0f32; FORCE_WORDS],
+            b: [0.0f32; FORCE_WORDS],
+        };
+        for (i, ci) in range.clone().enumerate() {
+            let mut fi = [0.0f32; FORCE_WORDS];
+            // Algorithm 2 updates only the outer cluster: reactions are
+            // computed and discarded, self entries included.
+            let (el, ec, n) = process_cluster(
+                psys,
+                list,
+                ci,
+                params,
+                false,
+                &mut fi,
+                &mut sink,
+                &mut scratch,
+            );
+            block[i * FORCE_WORDS..(i + 1) * FORCE_WORDS].copy_from_slice(&fi);
+            e_lj += el;
+            e_coul += ec;
+            n_pairs += n;
+        }
+        if tracing && !range.is_empty() {
+            trace::shared_read(REGION_POS, 0, psys.pos.len());
+            trace::shared_write(
+                REGION_FORCES,
+                range.start * FORCE_WORDS,
+                range.end * FORCE_WORDS,
+            );
+        }
+        *slots[lane].lock().unwrap() = Some((range, block, e_lj, e_coul, n_pairs));
+    });
+    trace::end_region(epoch);
+
+    let mut slot_forces = vec![0.0f32; n_pkg * FORCE_WORDS];
+    let mut energies = NbEnergies::default();
+    for (range, block, e_lj, e_coul, n_pairs) in take_slots(slots) {
+        slot_forces[range.start * FORCE_WORDS..range.end * FORCE_WORDS].copy_from_slice(&block);
+        // Full list counts every interaction twice; halve energies.
+        energies.lj += 0.5 * e_lj;
+        energies.coulomb += 0.5 * e_coul;
+        energies.pairs_within_cutoff += n_pairs;
+    }
+    native_result(psys, &slot_forces, energies)
+}
+
+/// Native twin of [`super::ustc::run_ustc`]: lanes record reaction
+/// updates, the MPE (the calling thread, after the join) applies every
+/// record serially in lane order.
+pub fn run_ustc_native(
+    psys: &PackedSystem,
+    list: &CpePairList,
+    params: &NbParams,
+    pool: &NativePool,
+) -> KernelResult {
+    assert_eq!(list.kind, ListKind::Half);
+    assert_eq!(
+        psys.layout,
+        PackageLayout::Transposed,
+        "the native USTC kernel is SIMD-only and needs the transposed layout"
+    );
+    let n_pkg = psys.n_packages();
+    let tracing = trace::enabled();
+
+    type UstcOut = (Vec<(u32, [f32; FORCE_WORDS])>, f64, f64, u64);
+    let slots = lane_slots::<UstcOut>();
+    swprof::next_region_label("ustc_native.calc");
+    let epoch = trace::begin_region(N_LANES);
+    pool.run(N_LANES, |lane| {
+        let range = lane_range(n_pkg, lane);
+        let mut sink = RecordSink {
+            records: Vec::new(),
+        };
+        let mut e_lj = 0.0f64;
+        let mut e_coul = 0.0f64;
+        let mut n_pairs = 0u64;
+        let mut scratch = Vec::new();
+        for ci in range.clone() {
+            let mut fi = [0.0f32; FORCE_WORDS];
+            let (el, ec, n) = process_cluster(
+                psys,
+                list,
+                ci,
+                params,
+                true,
+                &mut fi,
+                &mut sink,
+                &mut scratch,
+            );
+            sink.records.push((ci as u32, fi));
+            e_lj += el;
+            e_coul += ec;
+            n_pairs += n;
+        }
+        if tracing && !range.is_empty() {
+            trace::shared_read(REGION_POS, 0, psys.pos.len());
+        }
+        *slots[lane].lock().unwrap() = Some((sink.records, e_lj, e_coul, n_pairs));
+    });
+    trace::end_region(epoch);
+
+    // MPE side: only this thread writes forces, in lane order.
+    let mut slot_forces = vec![0.0f32; n_pkg * FORCE_WORDS];
+    let mut energies = NbEnergies::default();
+    for (records, e_lj, e_coul, n_pairs) in take_slots(slots) {
+        for (pkg, f) in &records {
+            let base = *pkg as usize * FORCE_WORDS;
+            for (d, v) in slot_forces[base..base + FORCE_WORDS].iter_mut().zip(f) {
+                *d += v;
+            }
+        }
+        energies.lj += e_lj;
+        energies.coulomb += e_coul;
+        energies.pairs_within_cutoff += n_pairs;
+    }
+    native_result(psys, &slot_forces, energies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::PackageLayout;
+    use mdsim::nonbonded::{compute_forces_half, max_force_diff};
+    use mdsim::pairlist::PairList;
+    use mdsim::water::water_box;
+
+    fn setup(
+        n_mol: usize,
+        seed: u64,
+        kind: ListKind,
+    ) -> (mdsim::System, PackedSystem, CpePairList, NbParams) {
+        let sys = water_box(n_mol, 300.0, seed);
+        let list = PairList::build(&sys, 0.7, kind);
+        let cpe = CpePairList::build(&sys, &list);
+        let psys = PackedSystem::build(&sys, list.clustering.clone(), PackageLayout::Transposed);
+        let params = NbParams {
+            r_cut: 0.7,
+            ..NbParams::paper_default()
+        };
+        (sys, psys, cpe, params)
+    }
+
+    fn reference(sys: &mdsim::System, params: &NbParams) -> (Vec<mdsim::Vec3>, f64, u64) {
+        let mut r = sys.clone();
+        r.clear_forces();
+        let half = PairList::build(&r, 0.7, ListKind::Half);
+        let en = compute_forces_half(&mut r, &half, params);
+        (r.force, en.total(), en.pairs_within_cutoff)
+    }
+
+    #[test]
+    fn lane_range_partitions_like_block_range() {
+        let cg = sw26010::CoreGroup::new();
+        for n in [0, 1, 63, 64, 65, 800, 6001] {
+            for lane in 0..N_LANES {
+                assert_eq!(
+                    lane_range(n, lane),
+                    cg.block_range(n, lane),
+                    "n={n} lane={lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn native_rma_matches_reference() {
+        let (sys, psys, cpe, params) = setup(800, 71, ListKind::Half);
+        let pool = NativePool::with_threads(4);
+        let out = run_rma_native(&psys, &cpe, &params, &pool);
+        let (f_ref, e_ref, pairs_ref) = reference(&sys, &params);
+        assert_eq!(out.energies.pairs_within_cutoff, pairs_ref);
+        let rel = (out.energies.total() - e_ref).abs() / e_ref.abs();
+        assert!(rel < 1e-5, "energy {} vs {e_ref}", out.energies.total());
+        let fmax = f_ref.iter().map(|f| f.norm()).fold(0.0f32, f32::max);
+        let diff = max_force_diff(&out.forces, &f_ref);
+        assert!(diff / fmax < 1e-3, "force diff {diff} (fmax {fmax})");
+    }
+
+    #[test]
+    fn native_rca_matches_reference() {
+        let (sys, psys, cpe, params) = setup(800, 91, ListKind::Full);
+        let pool = NativePool::with_threads(4);
+        let out = run_rca_native(&psys, &cpe, &params, &pool);
+        let (f_ref, e_ref, pairs_ref) = reference(&sys, &params);
+        // RCA evaluates each pair twice.
+        assert_eq!(out.energies.pairs_within_cutoff, 2 * pairs_ref);
+        let rel = (out.energies.total() - e_ref).abs() / e_ref.abs();
+        assert!(rel < 1e-5, "energy {} vs {e_ref}", out.energies.total());
+        let fmax = f_ref.iter().map(|f| f.norm()).fold(0.0f32, f32::max);
+        assert!(max_force_diff(&out.forces, &f_ref) / fmax < 1e-3);
+    }
+
+    #[test]
+    fn native_ustc_matches_reference() {
+        let (sys, psys, cpe, params) = setup(800, 95, ListKind::Half);
+        let pool = NativePool::with_threads(4);
+        let out = run_ustc_native(&psys, &cpe, &params, &pool);
+        let (f_ref, e_ref, pairs_ref) = reference(&sys, &params);
+        assert_eq!(out.energies.pairs_within_cutoff, pairs_ref);
+        let rel = (out.energies.total() - e_ref).abs() / e_ref.abs();
+        assert!(rel < 1e-5, "energy {} vs {e_ref}", out.energies.total());
+        let fmax = f_ref.iter().map(|f| f.norm()).fold(0.0f32, f32::max);
+        assert!(max_force_diff(&out.forces, &f_ref) / fmax < 1e-3);
+    }
+}

@@ -1,0 +1,582 @@
+//! The native backend's vectorized cluster-pair inner loop: real
+//! `f32x8` arithmetic (via the `wide` types) instead of the metered
+//! [`FloatV4`] emulation.
+//!
+//! Layout follows the AVX2 LJ-kernel structure of Watanabe & Nakagawa
+//! (arXiv:1806.05713) mapped onto the paper's 4-particle packages: the
+//! **i-broadcast × j-vector** scheme. Two inner-cluster entries are
+//! processed per iteration, their 2 × 4 particles forming one 8-lane
+//! j-vector; each of the four outer-cluster particles is broadcast
+//! against it. An odd trailing entry falls back to
+//! [`cluster_pair_wide4`], which keeps the exact FloatV4 semantics of
+//! the metered SIMD kernel (per-lane scalar `pair_interaction`) — so
+//! tail entries are bit-identical to the metered path.
+//!
+//! All transcendental math (`exp`, `erfc` for the short-range Ewald
+//! term) is vectorized in f32. The cutoff decision is computed with the
+//! same operation association as the scalar kernel, so *which* pairs
+//! interact is bit-identical across every backend; interaction values
+//! agree within the documented differential bounds (see
+//! `tests/backend_differential.rs`).
+
+use mdsim::cluster::CLUSTER_SIZE;
+use mdsim::nonbonded::{pair_interaction, Coulomb, NbParams};
+use mdsim::topology::KE;
+use sw26010::FloatV4;
+use wide::f32x8;
+
+use crate::package::{FORCE_WORDS, PKG_WORDS};
+
+/// Lanes of the wide path (two 4-particle packages per iteration).
+pub const WIDE_LANES: usize = 8;
+
+/// One inner-cluster (j-side) list entry: its transposed package, the
+/// minimum-image shift, and the interaction mask (`bit ai*4+bj`).
+#[derive(Clone, Copy)]
+pub struct EntryJ<'a> {
+    /// Transposed package words (`x1..x4 y1..y4 z1..z4 t1..t4 q1..q4`).
+    pub pkg: &'a [f32],
+    /// Minimum-image shift applied to the j particles.
+    pub shift: [f32; 3],
+    /// Interaction mask, bit `ai * CLUSTER_SIZE + bj`.
+    pub mask: u16,
+}
+
+/// Per-nibble lane masks: entry `m` holds, for each of 4 lanes, all-ones
+/// when bit `b` of `m` is set. Turning a mask row into a lane mask is
+/// then two 16-byte loads instead of eight shift/negate round-trips.
+const NIBBLE_MASK: [[u32; 4]; 16] = {
+    let mut t = [[0u32; 4]; 16];
+    let mut m = 0;
+    while m < 16 {
+        let mut b = 0;
+        while b < 4 {
+            if (m >> b) & 1 == 1 {
+                t[m][b] = !0;
+            }
+            b += 1;
+        }
+        m += 1;
+    }
+    t
+};
+
+#[inline(always)]
+fn lane_mask(bits: [u32; 8]) -> f32x8 {
+    let mut m = [0.0f32; 8];
+    for k in 0..8 {
+        m[k] = f32::from_bits(bits[k]);
+    }
+    f32x8::from(m)
+}
+
+/// View a transposed package slice as its fixed-size array, eliding the
+/// per-word bounds checks in the inner loop.
+#[inline(always)]
+fn pkg_words(pkg: &[f32]) -> &[f32; PKG_WORDS] {
+    pkg[..PKG_WORDS].try_into().expect("transposed package")
+}
+
+/// Vectorized `exp(x)` for `x <= 0` (the Ewald `exp(-(βr)²)` range).
+///
+/// Standard range reduction `x = n·ln2 + r`, degree-6 polynomial on
+/// `r ∈ [-ln2/2, ln2/2]`, scale by `2^n` through exponent bits.
+/// Relative error ≤ ~2e-7 over the kernel's domain.
+///
+/// Rounding uses the `1.5·2²³` magic-constant trick: adding it forces
+/// the integer part of `x·log₂e` into the low mantissa bits, so both
+/// the rounded float `n` and its integer value fall out of plain
+/// adds/subtracts. On baseline x86-64 (no SSE4.1 `roundps`) a
+/// `f32::round` here would be a **libm call per lane** — this loop is
+/// the innermost transcendental of the native backend and must stay
+/// straight-line so LLVM vectorizes it.
+#[inline]
+pub fn exp8(x: f32x8) -> f32x8 {
+    exp8_unchecked(x.max(f32x8::splat(-87.0)).min(f32x8::ZERO))
+}
+
+/// [`exp8`] without the domain clamp: callers must either bound `x` to
+/// `[-87, 0]` themselves or blend away lanes where it escapes (the
+/// result bits are garbage there, never UB). The Ewald inner loop
+/// qualifies — every listed cluster pair is geometrically close, and
+/// inactive lanes are masked after the fact — and saves the clamp at
+/// the head of the dependency chain.
+#[inline]
+pub fn exp8_unchecked(x: f32x8) -> f32x8 {
+    const LOG2E: f32 = std::f32::consts::LOG2_E;
+    const LN2_HI: f32 = 0.693_359_4; // ln2 split: hi has few mantissa bits
+    const LN2_LO: f32 = -2.121_944_4e-4;
+    const MAGIC: f32 = 12_582_912.0; // 1.5 * 2^23
+    let xa = x.to_array();
+    let mut out = [0.0f32; 8];
+    for i in 0..8 {
+        let x = xa[i];
+        // n ∈ [-126, 0] for in-domain x, so MAGIC + n keeps exponent 23
+        // and the mantissa ulp is exactly 1: the bit pattern differs
+        // from MAGIC's by the two's-complement integer n.
+        let nf = x * LOG2E + MAGIC;
+        let n = nf - MAGIC;
+        let n_bits = nf.to_bits().wrapping_sub(MAGIC.to_bits());
+        let r = x - n * LN2_HI;
+        let r = r - n * LN2_LO;
+        // exp(r) ≈ 1 + r + r²/2! + … + r⁶/6! (Horner).
+        let p = 1.0
+            + r * (1.0
+                + r * (0.5
+                    + r * (1.0 / 6.0 + r * (1.0 / 24.0 + r * (1.0 / 120.0 + r * (1.0 / 720.0))))));
+        out[i] = p * f32::from_bits(n_bits.wrapping_add(127) << 23);
+    }
+    f32x8::from(out)
+}
+
+/// Vectorized `erfc(x)` for `x >= 0`: Abramowitz & Stegun 7.1.26 (the
+/// same polynomial as the scalar `mdsim::math::erfc_f32` reference,
+/// evaluated in f32), sharing a precomputed `exp(-x²)`.
+/// The A&S rational variable's `P` constant, shared with callers that
+/// precompute `t = 1/(1 + Px)` themselves (see [`pair_interaction8`]).
+const ERFC_P: f32 = 0.327_591_1;
+
+/// The polynomial part of A&S 7.1.26 with the rational variable
+/// `t = 1/(1 + Px)` supplied by the caller.
+#[inline]
+fn erfc8_poly_t(t: f32x8, exp_neg_x2: f32x8) -> f32x8 {
+    const A1: f32 = 0.254_829_6;
+    const A2: f32 = -0.284_496_72;
+    const A3: f32 = 1.421_413_8;
+    const A4: f32 = -1.453_152_1;
+    const A5: f32 = 1.061_405_4;
+    let poly = ((((f32x8::splat(A5) * t + f32x8::splat(A4)) * t + f32x8::splat(A3)) * t
+        + f32x8::splat(A2))
+        * t
+        + f32x8::splat(A1))
+        * t;
+    poly * exp_neg_x2
+}
+
+#[inline]
+pub fn erfc8_with_exp(x: f32x8, exp_neg_x2: f32x8) -> f32x8 {
+    let one = f32x8::ONE;
+    let t = one / (one + f32x8::splat(ERFC_P) * x);
+    erfc8_poly_t(t, exp_neg_x2)
+}
+
+/// Vectorized `erfc(x)` for `x >= 0`.
+#[inline]
+pub fn erfc8(x: f32x8) -> f32x8 {
+    erfc8_with_exp(x, exp8(-(x * x)))
+}
+
+/// Eight pair interactions at once: the vector form of
+/// [`mdsim::nonbonded::pair_interaction`]. Returns `(f_over_r, e_lj,
+/// e_coul)` per lane. Lanes with garbage inputs (`r2 = 0` filler)
+/// produce garbage outputs — callers blend them away afterwards.
+///
+/// `lj_active` is a caller hint that some `c6`/`c12` lane is nonzero.
+/// Passing `false` skips the Lennard-Jones chain (the result is the
+/// exact zero those parameters would produce anyway) — on water
+/// workloads two thirds of the outer rows are hydrogens with no LJ
+/// site, so the skip is worth real time.
+#[inline]
+pub fn pair_interaction8(
+    r2: f32x8,
+    c6: f32x8,
+    c12: f32x8,
+    qq: f32x8,
+    lj_active: bool,
+    params: &NbParams,
+) -> (f32x8, f32x8, f32x8) {
+    let one = f32x8::ONE;
+    let ke = f32x8::splat(KE as f32);
+    if let Coulomb::EwaldShort { beta } = params.coulomb {
+        // The hot path. Divider-unit pressure dominates this branch, so
+        // one division serves both `1/r` and the erfc rational variable:
+        // with `b = 1 + P·βr` and `inv = 1/(r·b)`, `rinv = b·inv` and
+        // `t = r·inv`. `rinv² = rinv·rinv` then lands within ~2 ulp of
+        // `1/r²` — far inside the kernel's differential bounds.
+        // `exp(-(βr)²)` evaluated as `exp(-β²·r²)` so the transcendental
+        // starts straight from r² — in parallel with the square root
+        // instead of serialized behind it.
+        let ex = exp8_unchecked(-(f32x8::splat(beta * beta) * r2));
+        let r = r2.sqrt();
+        let b = one + f32x8::splat(ERFC_P * beta) * r;
+        let inv = one / (r * b);
+        let rinv = b * inv;
+        let t = r * inv;
+        let rinv2 = rinv * rinv;
+        let erfc_br = erfc8_poly_t(t, ex);
+        let kqq = ke * qq;
+        let e_coul = kqq * erfc_br * rinv;
+        let tbsp = 2.0 * beta / std::f32::consts::PI.sqrt();
+        let mut fsum = e_coul + kqq * (f32x8::splat(tbsp) * ex);
+        let mut e_lj = f32x8::ZERO;
+        if lj_active {
+            let rinv6 = rinv2 * rinv2 * rinv2;
+            let a = c12 * rinv6 * rinv6;
+            let bb = c6 * rinv6;
+            e_lj = a - bb;
+            fsum = fsum + f32x8::splat(12.0) * a - f32x8::splat(6.0) * bb;
+        }
+        return (fsum * rinv2, e_lj, e_coul);
+    }
+    let rinv2 = one / r2;
+    let rinv6 = rinv2 * rinv2 * rinv2;
+    let e_lj = c12 * rinv6 * rinv6 - c6 * rinv6;
+    let mut f_over_r =
+        (f32x8::splat(12.0) * c12 * rinv6 * rinv6 - f32x8::splat(6.0) * c6 * rinv6) * rinv2;
+    let mut e_coul = f32x8::ZERO;
+    match params.coulomb {
+        Coulomb::None | Coulomb::EwaldShort { .. } => {}
+        Coulomb::Cutoff => {
+            let rinv = rinv2.sqrt();
+            e_coul = ke * qq * rinv;
+            f_over_r = f_over_r + ke * qq * rinv * rinv2;
+        }
+        Coulomb::ReactionField { eps_rf } => {
+            let rc = params.r_cut;
+            let k_rf = (eps_rf - 1.0) / (2.0 * eps_rf + 1.0) / (rc * rc * rc);
+            let c_rf = 1.0 / rc + k_rf * rc * rc;
+            let rinv = rinv2.sqrt();
+            e_coul = ke * qq * (rinv + f32x8::splat(k_rf) * r2 - f32x8::splat(c_rf));
+            f_over_r = f_over_r + ke * qq * (rinv * rinv2 - f32x8::splat(2.0 * k_rf));
+        }
+    }
+    (f_over_r, e_lj, e_coul)
+}
+
+#[inline(always)]
+fn read_lane(pkg: &[f32], lane: usize) -> (f32, f32, f32, usize, f32) {
+    (
+        pkg[lane],
+        pkg[CLUSTER_SIZE + lane],
+        pkg[2 * CLUSTER_SIZE + lane],
+        pkg[3 * CLUSTER_SIZE + lane] as usize,
+        pkg[4 * CLUSTER_SIZE + lane],
+    )
+}
+
+/// Outer-cluster force accumulators in lane-slot (vector) form: one
+/// `f32x8` per outer particle and axis, summed across every wide8 call
+/// of a cluster and horizontally reduced **once** at the end
+/// ([`WideFi::fold_into`]). Folding per entry pair would cost 12
+/// shuffle-tree reductions per call — a measurable slice of the inner
+/// loop on a list with ~50 entries per cluster.
+#[derive(Clone, Copy)]
+pub struct WideFi {
+    pub x: [f32x8; CLUSTER_SIZE],
+    pub y: [f32x8; CLUSTER_SIZE],
+    pub z: [f32x8; CLUSTER_SIZE],
+}
+
+impl WideFi {
+    /// All slots zero.
+    pub const ZERO: Self = Self {
+        x: [f32x8::ZERO; CLUSTER_SIZE],
+        y: [f32x8::ZERO; CLUSTER_SIZE],
+        z: [f32x8::ZERO; CLUSTER_SIZE],
+    };
+
+    /// Reduce every lane slot into the scalar force words (the pairwise
+    /// tree of `reduce_add`, so the result is deterministic).
+    #[inline]
+    pub fn fold_into(&self, fi: &mut [f32; FORCE_WORDS]) {
+        for ai in 0..CLUSTER_SIZE {
+            fi[3 * ai] += self.x[ai].reduce_add();
+            fi[3 * ai + 1] += self.y[ai].reduce_add();
+            fi[3 * ai + 2] += self.z[ai].reduce_add();
+        }
+    }
+}
+
+/// Interactions of one outer cluster against **two** inner-cluster
+/// entries, 8 j-lanes wide. `lj` maps a type pair to `(c6, c12)`.
+/// Accumulates the outer forces into the `fi` lane slots (fold them
+/// with [`WideFi::fold_into`] after the last entry pair) and the
+/// reactions into `fj0`/`fj1` — which may point straight into a
+/// caller-side accumulation buffer; returns `(e_lj, e_coul, n_pairs)`.
+#[allow(clippy::too_many_arguments)]
+pub fn cluster_pair_wide8(
+    pkg_i: &[f32],
+    e0: EntryJ<'_>,
+    e1: EntryJ<'_>,
+    params: &NbParams,
+    lj: &impl Fn(usize, usize) -> (f32, f32),
+    fi: &mut WideFi,
+    fj0: &mut [f32; FORCE_WORDS],
+    fj1: &mut [f32; FORCE_WORDS],
+) -> (f64, f64, u32) {
+    let rc2 = params.r_cut * params.r_cut;
+    let pi = pkg_words(pkg_i);
+    let p0 = pkg_words(e0.pkg);
+    let p1 = pkg_words(e1.pkg);
+    // Build the 8-lane j-vector: lanes 0..4 from e0, 4..8 from e1,
+    // pre-shifted into the outer cluster's minimum image.
+    let mut xj = [0.0f32; 8];
+    let mut yj = [0.0f32; 8];
+    let mut zj = [0.0f32; 8];
+    let mut qj = [0.0f32; 8];
+    let mut tj = [0usize; 8];
+    for k in 0..CLUSTER_SIZE {
+        xj[k] = p0[k] + e0.shift[0];
+        yj[k] = p0[CLUSTER_SIZE + k] + e0.shift[1];
+        zj[k] = p0[2 * CLUSTER_SIZE + k] + e0.shift[2];
+        tj[k] = p0[3 * CLUSTER_SIZE + k] as usize;
+        qj[k] = p0[4 * CLUSTER_SIZE + k];
+        xj[4 + k] = p1[k] + e1.shift[0];
+        yj[4 + k] = p1[CLUSTER_SIZE + k] + e1.shift[1];
+        zj[4 + k] = p1[2 * CLUSTER_SIZE + k] + e1.shift[2];
+        tj[4 + k] = p1[3 * CLUSTER_SIZE + k] as usize;
+        qj[4 + k] = p1[4 * CLUSTER_SIZE + k];
+    }
+    let xj8 = f32x8::from(xj);
+    let yj8 = f32x8::from(yj);
+    let zj8 = f32x8::from(zj);
+    let qj8 = f32x8::from(qj);
+
+    let mut rjx = f32x8::ZERO; // j-side reactions, accumulated per lane
+    let mut rjy = f32x8::ZERO;
+    let mut rjz = f32x8::ZERO;
+    let mut elj8 = f32x8::ZERO; // energies, folded to f64 once at the end
+    let mut ecoul8 = f32x8::ZERO;
+    let mut n = 0u32;
+    let rc2v = f32x8::splat(rc2);
+    // LJ parameters depend only on (ti, tj) and the j-types are fixed
+    // for the whole call, so the 8-slot gather is memoized on ti —
+    // consecutive outer particles frequently share a type.
+    let mut lj_ti = usize::MAX;
+    let mut lj_on = false;
+    let mut c6v = f32x8::ZERO;
+    let mut c12v = f32x8::ZERO;
+
+    for ai in 0..CLUSTER_SIZE {
+        let row0 = ((e0.mask >> (ai * CLUSTER_SIZE)) & 0xF) as usize;
+        let row1 = ((e1.mask >> (ai * CLUSTER_SIZE)) & 0xF) as usize;
+        if row0 | row1 == 0 {
+            continue;
+        }
+        let ti = pi[3 * CLUSTER_SIZE + ai] as usize;
+        let qi = pi[4 * CLUSTER_SIZE + ai];
+        let dx = f32x8::splat(pi[ai]) - xj8;
+        let dy = f32x8::splat(pi[CLUSTER_SIZE + ai]) - yj8;
+        let dz = f32x8::splat(pi[2 * CLUSTER_SIZE + ai]) - zj8;
+        // Same association as the scalar kernel ((dx²+dy²)+dz²): the
+        // cutoff decision is bit-identical across backends.
+        let r2 = dx * dx + dy * dy + dz * dz;
+
+        // Lane activity, all in vector form with the scalar kernel's
+        // exact conditions: mask-row bit AND r2 < rc² AND r2 != 0.
+        let m0 = NIBBLE_MASK[row0];
+        let m1 = NIBBLE_MASK[row1];
+        let rowm = lane_mask([m0[0], m0[1], m0[2], m0[3], m1[0], m1[1], m1[2], m1[3]]);
+        // `r2 > 0` ≡ the scalar kernel's `r2 != 0` (a sum of squares is
+        // never negative).
+        let m = rowm & f32x8::ZERO.cmp_lt(r2) & r2.cmp_lt(rc2v);
+        // Exact pair count: each active lane contributes 1.0 (small
+        // integers are exact in f32, so the cast is lossless).
+        let cnt = m.blend(f32x8::ONE, f32x8::ZERO).reduce_add();
+        if cnt == 0.0 {
+            continue;
+        }
+        n += cnt as u32;
+
+        // Unconditional LJ gather: filler slots carry type 0, so every
+        // lookup is in range, and the post-blend kills whatever
+        // inactive lanes computed.
+        if ti != lj_ti {
+            lj_ti = ti;
+            let mut c6 = [0.0f32; 8];
+            let mut c12 = [0.0f32; 8];
+            let mut any = 0.0f32;
+            for k in 0..8 {
+                let (a, b) = lj(ti, tj[k]);
+                c6[k] = a;
+                c12[k] = b;
+                any += a.abs() + b.abs();
+            }
+            lj_on = any != 0.0;
+            c6v = f32x8::from(c6);
+            c12v = f32x8::from(c12);
+        }
+        let qq8 = f32x8::splat(qi) * qj8;
+        let (f, elj, ecoul) = pair_interaction8(r2, c6v, c12v, qq8, lj_on, params);
+        // Blend *after* the computation: filler lanes (r2 = 0) produced
+        // infinities/NaNs and are replaced bitwise with zero.
+        let f = m.blend(f, f32x8::ZERO);
+        elj8 = elj8 + m.blend(elj, f32x8::ZERO);
+        ecoul8 = ecoul8 + m.blend(ecoul, f32x8::ZERO);
+
+        let fx = dx * f;
+        let fy = dy * f;
+        let fz = dz * f;
+        fi.x[ai] = fi.x[ai] + fx;
+        fi.y[ai] = fi.y[ai] + fy;
+        fi.z[ai] = fi.z[ai] + fz;
+        rjx = rjx + fx;
+        rjy = rjy + fy;
+        rjz = rjz + fz;
+    }
+
+    let mut e_lj_acc = 0.0f64;
+    let mut e_coul_acc = 0.0f64;
+    let ea = elj8.to_array();
+    let ec = ecoul8.to_array();
+    for k in 0..8 {
+        e_lj_acc += ea[k] as f64;
+        e_coul_acc += ec[k] as f64;
+    }
+
+    let rx = rjx.to_array();
+    let ry = rjy.to_array();
+    let rz = rjz.to_array();
+    for k in 0..CLUSTER_SIZE {
+        fj0[3 * k] -= rx[k];
+        fj0[3 * k + 1] -= ry[k];
+        fj0[3 * k + 2] -= rz[k];
+        fj1[3 * k] -= rx[4 + k];
+        fj1[3 * k + 1] -= ry[4 + k];
+        fj1[3 * k + 2] -= rz[4 + k];
+    }
+    (e_lj_acc, e_coul_acc, n)
+}
+
+/// Tail fallback: one inner entry with the **exact FloatV4 semantics**
+/// of the metered SIMD kernel — vector geometry, per-lane scalar
+/// [`pair_interaction`] — so an odd trailing entry is bit-identical to
+/// the metered path. Returns `(e_lj, e_coul, n_pairs)`.
+pub fn cluster_pair_wide4(
+    pkg_i: &[f32],
+    e: EntryJ<'_>,
+    params: &NbParams,
+    lj: &impl Fn(usize, usize) -> (f32, f32),
+    fi: &mut [f32; FORCE_WORDS],
+    fj: &mut [f32; FORCE_WORDS],
+) -> (f64, f64, u32) {
+    let rc2 = params.r_cut * params.r_cut;
+    let xi = FloatV4::load(&pkg_i[0..CLUSTER_SIZE]);
+    let yi = FloatV4::load(&pkg_i[CLUSTER_SIZE..2 * CLUSTER_SIZE]);
+    let zi = FloatV4::load(&pkg_i[2 * CLUSTER_SIZE..3 * CLUSTER_SIZE]);
+    let mut fx_acc = FloatV4::ZERO;
+    let mut fy_acc = FloatV4::ZERO;
+    let mut fz_acc = FloatV4::ZERO;
+    let mut e_lj = 0.0f64;
+    let mut e_coul = 0.0f64;
+    let mut n = 0u32;
+
+    for bj in 0..CLUSTER_SIZE {
+        let col = [
+            (e.mask >> bj) & 1,
+            (e.mask >> (CLUSTER_SIZE + bj)) & 1,
+            (e.mask >> (2 * CLUSTER_SIZE + bj)) & 1,
+            (e.mask >> (3 * CLUSTER_SIZE + bj)) & 1,
+        ];
+        if col == [0, 0, 0, 0] {
+            continue;
+        }
+        let (xb, yb, zb, tb, qb) = read_lane(e.pkg, bj);
+        let dx = xi - FloatV4::splat(xb + e.shift[0]);
+        let dy = yi - FloatV4::splat(yb + e.shift[1]);
+        let dz = zi - FloatV4::splat(zb + e.shift[2]);
+        let r2 = dx * dx + dy * dy + dz * dz;
+
+        let mut f_over_r = [0.0f32; 4];
+        for lane in 0..CLUSTER_SIZE {
+            if col[lane] == 0 {
+                continue;
+            }
+            let r2l = r2.0[lane];
+            if r2l >= rc2 || r2l == 0.0 {
+                continue;
+            }
+            let (_, _, _, ta, qa) = read_lane(pkg_i, lane);
+            let (c6, c12) = lj(ta, tb);
+            let (f, elj, ecoul) = pair_interaction(r2l, c6, c12, qa * qb, params);
+            f_over_r[lane] = f;
+            e_lj += elj as f64;
+            e_coul += ecoul as f64;
+            n += 1;
+        }
+        let fv = FloatV4(f_over_r);
+        fx_acc = dx.mul_add(fv, fx_acc);
+        fy_acc = dy.mul_add(fv, fy_acc);
+        fz_acc = dz.mul_add(fv, fz_acc);
+        fj[3 * bj] -= (dx * fv).hsum();
+        fj[3 * bj + 1] -= (dy * fv).hsum();
+        fj[3 * bj + 2] -= (dz * fv).hsum();
+    }
+    for lane in 0..CLUSTER_SIZE {
+        fi[3 * lane] += fx_acc.0[lane];
+        fi[3 * lane + 1] += fy_acc.0[lane];
+        fi[3 * lane + 2] += fz_acc.0[lane];
+    }
+    (e_lj, e_coul, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp8_matches_f64_reference() {
+        let mut x = -9.8f32;
+        while x <= 0.0 {
+            let got = exp8(f32x8::splat(x)).to_array()[0];
+            let want = (x as f64).exp();
+            let rel = ((got as f64 - want) / want).abs();
+            assert!(rel < 1e-6, "exp({x}) = {got}, want {want}, rel {rel}");
+            x += 0.037;
+        }
+    }
+
+    #[test]
+    fn erfc8_matches_scalar_reference() {
+        let mut x = 0.0f32;
+        while x <= 4.0 {
+            let got = erfc8(f32x8::splat(x)).to_array()[0];
+            let want = mdsim::math::erfc(x as f64);
+            // A&S 7.1.26 carries |ε| ≤ 1.5e-7 absolute; f32 evaluation
+            // adds a few ulps.
+            assert!(
+                (got as f64 - want).abs() < 2e-6,
+                "erfc({x}) = {got}, want {want}"
+            );
+            x += 0.029;
+        }
+    }
+
+    #[test]
+    fn pair_interaction8_lane_matches_scalar_within_bounds() {
+        let params = NbParams::paper_default();
+        for i in 1..60 {
+            let r2 = 0.02 + 0.016 * i as f32;
+            let (c6, c12, qq) = (2.6e-3, 2.6e-6, -0.2);
+            let (f8, e8, c8) = pair_interaction8(
+                f32x8::splat(r2),
+                f32x8::splat(c6),
+                f32x8::splat(c12),
+                f32x8::splat(qq),
+                true,
+                &params,
+            );
+            let (f, e, c) = pair_interaction(r2, c6, c12, qq, &params);
+            let rel = |a: f32, b: f32| ((a - b) / b.abs().max(1e-20)).abs();
+            // Both f and e_lj pass through zero on this r2 sweep (the
+            // LJ sign change sits at r2 = (c12/c6)^(1/3) = 0.1, the
+            // total force at the LJ/Coulomb crossover), where they are
+            // small residues of much larger cancelling components. The
+            // honest f32 bound is relative to those component
+            // magnitudes, not to the residue.
+            let rinv6 = 1.0 / (r2 * r2 * r2);
+            let (a12, b6) = (c12 * rinv6 * rinv6, c6 * rinv6);
+            let f_scale = f.abs().max((c.abs() + 12.0 * a12 + 6.0 * b6) / r2);
+            let e_scale = e.abs().max(a12).max(b6);
+            assert!(
+                (f8.to_array()[0] - f).abs() < 1e-4 * f_scale,
+                "f at r2={r2}"
+            );
+            assert!(
+                (e8.to_array()[0] - e).abs() < 1e-4 * e_scale,
+                "e_lj at r2={r2}"
+            );
+            assert!(rel(c8.to_array()[0], c) < 1e-4, "e_coul at r2={r2}");
+        }
+    }
+}

@@ -59,8 +59,14 @@ pub mod platforms;
 pub mod portable;
 pub mod recovery;
 
-pub use backend::{Certificate, Certified, CertifiedBackend, KernelBackend, SimulatedBackend};
-pub use check::{physics_checksum, run_traced, KernelContract, TracedRun, Variant};
+pub use backend::{
+    assert_certified, AnyBackend, BackendSel, Certificate, Certified, CertifiedBackend,
+    Concurrency, KernelBackend, KernelInput, MeteredBackend, NativeBackend, SimulatedBackend,
+};
+pub use check::{
+    physics_checksum, run_traced, run_traced_with, run_variant_with, KernelContract, TracedRun,
+    Variant,
+};
 pub use cpelist::CpePairList;
 pub use kernels::{run_ori, run_rca, run_rma, run_ustc, KernelResult, RmaConfig};
 pub use package::{PackageLayout, PackedSystem};

@@ -56,6 +56,7 @@ pub mod ldm;
 pub mod noc;
 pub mod params;
 pub mod perf;
+pub mod pool;
 pub mod simd;
 pub mod trace;
 
@@ -65,4 +66,5 @@ pub use cg::{CoreGroup, CpeCtx, MpeCtx, SpawnResult};
 pub use dma::{Dir, DmaEngine, DmaHandle};
 pub use ldm::{Ldm, LdmOverflow};
 pub use perf::{Breakdown, PerfCounters};
+pub use pool::NativePool;
 pub use simd::{transpose3_to_interleaved, FloatV4};

@@ -28,8 +28,20 @@ impl FloatV4 {
     }
 
     /// Load from a slice of at least 4 elements.
+    ///
+    /// A `floatv4` load reads exactly one 128-bit register's worth of
+    /// lanes; handing it fewer is always a kernel indexing bug (a tail
+    /// cluster that should have been padded to a whole package). Debug
+    /// builds report the lane context instead of a bare index panic.
     #[inline]
     pub fn load(s: &[f32]) -> Self {
+        debug_assert!(
+            s.len() >= 4,
+            "FloatV4::load needs 4 lanes, got a {}-element slice \
+             (cpe {:?}): unpadded tail cluster?",
+            s.len(),
+            crate::trace::current_cpe(),
+        );
         FloatV4([s[0], s[1], s[2], s[3]])
     }
 
@@ -335,5 +347,23 @@ mod tests {
         assert_eq!(p.shuffle_ops, 6);
         assert_eq!(p.cycles, 10 + 5 + 6 + meter::DIV_SQRT_CYCLES);
         assert_eq!(p.cycles, p.compute_cycles);
+    }
+
+    #[test]
+    fn load_accepts_exactly_four_elements() {
+        // The boundary case: a slice of exactly 4 is a legal register
+        // load, including as the tail window of a larger array.
+        let v = FloatV4::load(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(v.0, [1.0, 2.0, 3.0, 4.0]);
+        let arr = [0.0f32, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let tail = FloatV4::load(&arr[4..]);
+        assert_eq!(tail.0, [4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "FloatV4::load needs 4 lanes")]
+    fn load_reports_lane_context_on_short_slice() {
+        FloatV4::load(&[1.0, 2.0, 3.0]);
     }
 }

@@ -3,7 +3,8 @@
 //! ```text
 //! swcheck [--n-mol N] [--seed S] [--json] [variant ...]   check kernel runs
 //! swcheck --fixtures [--json]            seeded-violation self-test
-//! swcheck certify [--n-mol N] [--seeds a,b,c] [--schedules K] [--json]
+//! swcheck certify [--n-mol N] [--seeds a,b,c] [--schedules K]
+//!                 [--backend metered|native] [--json]
 //!                                        happens-before certification
 //! swcheck srclint [--json]               SWC006–009 determinism lints
 //! ```
@@ -31,6 +32,7 @@ use swcheck::lint::ldm_report;
 use swcheck::schedule::{certify, CertifyOptions};
 use swcheck::srclint::{lint_workspace, workspace_root};
 use swcheck::{check_events, error_count, fixtures, DualAccess, Severity, Violation};
+use swgmx::backend::BackendSel;
 use swgmx::check::{run_traced, Variant};
 
 fn main() -> ExitCode {
@@ -57,7 +59,7 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
 const USAGE: &str = "\
 usage: swcheck [--n-mol N] [--seed S] [--json] [variant ...]
        swcheck --fixtures [--json]
-       swcheck certify [--n-mol N] [--seeds a,b,c] [--schedules K] [--json]
+       swcheck certify [--n-mol N] [--seeds a,b,c] [--schedules K] [--backend metered|native] [--json]
        swcheck srclint [--json]
 
 variants: ori gldnaive rma rca ustc (default: all five)
@@ -260,6 +262,10 @@ fn cmd_certify(args: &[String], json: bool) -> ExitCode {
                     _ => return usage("--seeds needs a comma-separated integer list"),
                 }
             }
+            "--backend" => match it.next().and_then(|v| BackendSel::from_name(v)) {
+                Some(sel) => opts.backend = sel,
+                None => return usage("--backend needs `metered` or `native`"),
+            },
             other => return usage(&format!("unknown certify argument `{other}`")),
         }
     }
@@ -285,7 +291,8 @@ fn cmd_certify(args: &[String], json: bool) -> ExitCode {
             })
             .collect();
         println!(
-            "{{\"certified\":{certified},\"backend\":\"simulated\",\"variants\":[{}]}}",
+            "{{\"certified\":{certified},\"backend\":{},\"variants\":[{}]}}",
+            json_str(opts.backend.backend_name()),
             objs.join(",")
         );
     } else {
@@ -310,7 +317,8 @@ fn cmd_certify(args: &[String], json: bool) -> ExitCode {
         }
         if certified {
             println!(
-                "backend `simulated` certified: {} variants x {} seeds, {} schedules each",
+                "backend `{}` certified: {} variants x {} seeds, {} schedules each",
+                opts.backend.backend_name(),
                 report.outcomes.len(),
                 opts.seeds.len(),
                 opts.schedules

@@ -25,8 +25,8 @@
 use std::collections::BTreeMap;
 
 use sw26010::trace::Event;
-use swgmx::backend::{Certificate, VariantCertificate, MIN_SCHEDULES};
-use swgmx::check::{run_traced, Variant};
+use swgmx::backend::{AnyBackend, BackendSel, Certificate, VariantCertificate, MIN_SCHEDULES};
+use swgmx::check::{run_traced_with, Variant};
 
 use crate::{check_events, Severity, Violation};
 
@@ -286,6 +286,10 @@ pub struct CertifyOptions {
     pub seeds: Vec<u64>,
     /// Linearizations to replay per variant (on the first seed's trace).
     pub schedules: usize,
+    /// Which backend to certify. For [`BackendSel::Native`] the traces
+    /// come from real thread-pool runs, so the double-run checksum check
+    /// is a genuine determinism test, not a formality.
+    pub backend: BackendSel,
 }
 
 impl Default for CertifyOptions {
@@ -294,6 +298,7 @@ impl Default for CertifyOptions {
             n_mol: 200,
             seeds: vec![1, 2, 3],
             schedules: MIN_SCHEDULES,
+            backend: BackendSel::Metered,
         }
     }
 }
@@ -325,17 +330,21 @@ pub struct CertifyReport {
     pub certificate: Option<Certificate>,
 }
 
-/// Certify the simulated backend: every kernel variant × seed runs
+/// Certify the selected backend: every kernel variant × seed runs
 /// twice for bit-equal checksums, checks clean under all three passes,
 /// and survives schedule exploration with an unmoved verdict set.
 pub fn certify(opts: &CertifyOptions) -> CertifyReport {
+    // One backend instance for the whole certification: the native pool
+    // is spawned once, and reusing it across runs is itself part of
+    // what is being certified.
+    let backend = AnyBackend::of(opts.backend);
     let mut outcomes = Vec::new();
     for variant in Variant::ALL {
         let mut problems = Vec::new();
         let mut first: Option<(u64, usize, usize, usize)> = None;
         for (si, &seed) in opts.seeds.iter().enumerate() {
-            let run = run_traced(variant, opts.n_mol, seed);
-            let rerun = run_traced(variant, opts.n_mol, seed);
+            let run = run_traced_with(&backend, variant, opts.n_mol, seed);
+            let rerun = run_traced_with(&backend, variant, opts.n_mol, seed);
             if run.checksum != rerun.checksum {
                 problems.push(format!(
                     "seed {seed}: physics checksum moved between identical runs \
@@ -372,7 +381,7 @@ pub fn certify(opts: &CertifyOptions) -> CertifyReport {
     }
     let all_clean = outcomes.iter().all(|o| o.problems.is_empty());
     let certificate = all_clean.then(|| Certificate {
-        backend: "simulated",
+        backend: opts.backend.backend_name(),
         variants: outcomes
             .iter()
             .map(|o| VariantCertificate {

@@ -1,0 +1,280 @@
+//! Offline stand-in for the `wide` crate (the build environment has no
+//! registry access). Implements exactly the `f32x8`/`f32x4` surface the
+//! workspace uses: lanewise arithmetic, fused multiply-add, square
+//! root, comparisons returning all-ones/all-zeros lane masks, and
+//! bitwise blends.
+//!
+//! Lanes are plain `[f32; N]` arrays behind a 32-byte alignment; every
+//! operation is a straight per-lane loop, which LLVM auto-vectorizes to
+//! the host's SIMD width in release builds. Semantics are strict IEEE
+//! 754 per lane (no fast-math), so a lane of an `f32x8` computation is
+//! bit-identical to the same scalar computation.
+
+#![allow(non_camel_case_types)]
+
+use std::ops::{Add, BitAnd, BitOr, Div, Mul, Neg, Sub};
+
+macro_rules! lanewise_type {
+    ($name:ident, $n:expr, $align:expr) => {
+        /// A `$n`-lane `f32` vector.
+        #[derive(Debug, Clone, Copy, PartialEq, Default)]
+        #[repr(C, align($align))]
+        pub struct $name([f32; $n]);
+
+        impl $name {
+            /// All lanes zero.
+            pub const ZERO: Self = Self([0.0; $n]);
+            /// All lanes one.
+            pub const ONE: Self = Self([1.0; $n]);
+            /// Number of lanes.
+            pub const LANES: usize = $n;
+
+            /// Broadcast one scalar to every lane.
+            #[inline(always)]
+            pub fn splat(v: f32) -> Self {
+                Self([v; $n])
+            }
+
+            /// The lanes as an array.
+            #[inline(always)]
+            pub fn to_array(self) -> [f32; $n] {
+                self.0
+            }
+
+            /// Borrow the lanes.
+            #[inline(always)]
+            pub fn as_array_ref(&self) -> &[f32; $n] {
+                &self.0
+            }
+
+            /// Lanewise fused multiply-add `self * m + a` (computed as
+            /// mul-then-add: the shim mirrors what the autovectorizer
+            /// emits without `-C target-feature=+fma`, keeping results
+            /// bit-stable across hosts).
+            #[inline(always)]
+            pub fn mul_add(self, m: Self, a: Self) -> Self {
+                let mut out = [0.0f32; $n];
+                for i in 0..$n {
+                    out[i] = self.0[i] * m.0[i] + a.0[i];
+                }
+                Self(out)
+            }
+
+            /// Lanewise square root.
+            #[inline(always)]
+            pub fn sqrt(self) -> Self {
+                let mut out = [0.0f32; $n];
+                for i in 0..$n {
+                    out[i] = self.0[i].sqrt();
+                }
+                Self(out)
+            }
+
+            /// Lanewise minimum.
+            #[inline(always)]
+            pub fn min(self, rhs: Self) -> Self {
+                let mut out = [0.0f32; $n];
+                for i in 0..$n {
+                    out[i] = self.0[i].min(rhs.0[i]);
+                }
+                Self(out)
+            }
+
+            /// Lanewise maximum.
+            #[inline(always)]
+            pub fn max(self, rhs: Self) -> Self {
+                let mut out = [0.0f32; $n];
+                for i in 0..$n {
+                    out[i] = self.0[i].max(rhs.0[i]);
+                }
+                Self(out)
+            }
+
+            /// Lanewise `self < rhs`, as an all-ones (true) or all-zeros
+            /// (false) bit mask per lane, reinterpreted as `f32`.
+            #[inline(always)]
+            pub fn cmp_lt(self, rhs: Self) -> Self {
+                let mut out = [0.0f32; $n];
+                for i in 0..$n {
+                    out[i] = f32::from_bits(if self.0[i] < rhs.0[i] { !0u32 } else { 0 });
+                }
+                Self(out)
+            }
+
+            /// Lanewise `self == rhs` as a bit mask (all-ones / all-zeros).
+            #[inline(always)]
+            pub fn cmp_eq(self, rhs: Self) -> Self {
+                let mut out = [0.0f32; $n];
+                for i in 0..$n {
+                    out[i] = f32::from_bits(if self.0[i] == rhs.0[i] { !0u32 } else { 0 });
+                }
+                Self(out)
+            }
+
+            /// Bitwise select: for each lane, take `t` where the mask
+            /// bit is set, `f` where it is clear. With the all-ones /
+            /// all-zeros masks produced by the comparisons this is a
+            /// lanewise conditional move that fully replaces the untaken
+            /// value (NaNs and infinities included).
+            #[inline(always)]
+            pub fn blend(self, t: Self, f: Self) -> Self {
+                let mut out = [0.0f32; $n];
+                for i in 0..$n {
+                    let m = self.0[i].to_bits();
+                    out[i] = f32::from_bits((t.0[i].to_bits() & m) | (f.0[i].to_bits() & !m));
+                }
+                Self(out)
+            }
+
+            /// Sum of all lanes by pairwise halving — the association a
+            /// shuffle-and-add SIMD horizontal sum uses. The tree is
+            /// fixed, so the reduction is deterministic, and its log-
+            /// depth dependency chain is what lets the autovectorizer
+            /// lower it to shuffles instead of a serial add chain.
+            #[inline(always)]
+            pub fn reduce_add(self) -> f32 {
+                let mut tmp = self.0;
+                let mut half = $n;
+                while half > 1 {
+                    half /= 2;
+                    for i in 0..half {
+                        tmp[i] += tmp[i + half];
+                    }
+                }
+                tmp[0]
+            }
+        }
+
+        impl From<[f32; $n]> for $name {
+            #[inline(always)]
+            fn from(a: [f32; $n]) -> Self {
+                Self(a)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn add(self, rhs: Self) -> Self {
+                let mut out = [0.0f32; $n];
+                for i in 0..$n {
+                    out[i] = self.0[i] + rhs.0[i];
+                }
+                Self(out)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn sub(self, rhs: Self) -> Self {
+                let mut out = [0.0f32; $n];
+                for i in 0..$n {
+                    out[i] = self.0[i] - rhs.0[i];
+                }
+                Self(out)
+            }
+        }
+
+        impl Mul for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn mul(self, rhs: Self) -> Self {
+                let mut out = [0.0f32; $n];
+                for i in 0..$n {
+                    out[i] = self.0[i] * rhs.0[i];
+                }
+                Self(out)
+            }
+        }
+
+        impl Div for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn div(self, rhs: Self) -> Self {
+                let mut out = [0.0f32; $n];
+                for i in 0..$n {
+                    out[i] = self.0[i] / rhs.0[i];
+                }
+                Self(out)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn neg(self) -> Self {
+                let mut out = [0.0f32; $n];
+                for i in 0..$n {
+                    out[i] = -self.0[i];
+                }
+                Self(out)
+            }
+        }
+
+        impl BitAnd for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn bitand(self, rhs: Self) -> Self {
+                let mut out = [0.0f32; $n];
+                for i in 0..$n {
+                    out[i] = f32::from_bits(self.0[i].to_bits() & rhs.0[i].to_bits());
+                }
+                Self(out)
+            }
+        }
+
+        impl BitOr for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn bitor(self, rhs: Self) -> Self {
+                let mut out = [0.0f32; $n];
+                for i in 0..$n {
+                    out[i] = f32::from_bits(self.0[i].to_bits() | rhs.0[i].to_bits());
+                }
+                Self(out)
+            }
+        }
+    };
+}
+
+lanewise_type!(f32x8, 8, 32);
+lanewise_type!(f32x4, 4, 16);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_match_scalar_bit_for_bit() {
+        let a = f32x8::from([1.0, 2.5, -3.0, 0.0, 1e-7, 1e7, -0.5, 9.25]);
+        let b = f32x8::splat(3.1);
+        let sum = (a + b).to_array();
+        let prod = (a * b).to_array();
+        let quot = (a / b).to_array();
+        for i in 0..8 {
+            assert_eq!(sum[i].to_bits(), (a.to_array()[i] + 3.1f32).to_bits());
+            assert_eq!(prod[i].to_bits(), (a.to_array()[i] * 3.1f32).to_bits());
+            assert_eq!(quot[i].to_bits(), (a.to_array()[i] / 3.1f32).to_bits());
+        }
+    }
+
+    #[test]
+    fn blend_replaces_nan_lanes() {
+        let x = f32x8::from([1.0, 0.0, 2.0, 0.0, 3.0, 0.0, 4.0, 0.0]);
+        let bad = f32x8::splat(1.0) / x; // lanes 1,3,5,7 are inf
+        let mask = x.cmp_lt(f32x8::splat(0.5)); // true where x == 0
+        let safe = mask.blend(f32x8::ZERO, bad).to_array();
+        assert_eq!(safe, [1.0, 0.0, 0.5, 0.0, 1.0 / 3.0, 0.0, 0.25, 0.0]);
+    }
+
+    #[test]
+    fn reduce_add_is_pairwise() {
+        let v = f32x4::from([1e8, 1.0, -1e8, 1.0]);
+        // (1e8 + -1e8) + (1 + 1) = 2 exactly under the pairwise tree
+        // (left-to-right would lose both ones to rounding).
+        assert_eq!(v.reduce_add(), 2.0);
+        let w = f32x8::from([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(w.reduce_add(), 36.0);
+    }
+}

@@ -4,8 +4,8 @@
 //!
 //! ```text
 //! swgmx_mdrun [--particles N] [--steps N] [--version ori|cal|list|other]
-//!             [--ranks N] [--temp K] [--pme GRID] [--traj PATH] [--seed S]
-//!             [--mdp FILE | --mdp paper]
+//!             [--backend metered|native] [--ranks N] [--temp K] [--pme GRID]
+//!             [--traj PATH] [--seed S] [--mdp FILE | --mdp paper]
 //! ```
 
 use std::fs::File;
@@ -13,11 +13,13 @@ use std::fs::File;
 use sw_gromacs::mdsim::water::water_box_equilibrated;
 use sw_gromacs::swgmx::engine::{Engine, EngineConfig, MultiCgModel, Version};
 use sw_gromacs::swgmx::fastio::{write_frame, BufferedWriter};
+use sw_gromacs::swgmx::BackendSel;
 
 struct Args {
     particles: usize,
     steps: usize,
     version: Version,
+    backend: BackendSel,
     ranks: usize,
     temp: f64,
     pme: Option<usize>,
@@ -31,6 +33,7 @@ fn parse_args() -> Args {
         particles: 12_000,
         steps: 100,
         version: Version::Other,
+        backend: BackendSel::Metered,
         ranks: 1,
         temp: 300.0,
         pme: None,
@@ -62,10 +65,16 @@ fn parse_args() -> Args {
                     v => die(&format!("unknown version {v}")),
                 }
             }
+            "--backend" => {
+                let v = value();
+                args.backend = BackendSel::from_name(&v)
+                    .unwrap_or_else(|| die(&format!("unknown backend {v}")));
+            }
             "--help" | "-h" => {
                 println!(
                     "swgmx_mdrun [--particles N] [--steps N] \
-                     [--version ori|cal|list|other] [--ranks N] [--temp K] \
+                     [--version ori|cal|list|other] [--backend metered|native] \
+                     [--ranks N] [--temp K] \
                      [--pme GRID] [--traj PATH] [--seed S] [--mdp FILE|paper]"
                 );
                 std::process::exit(0);
@@ -129,17 +138,19 @@ fn main() {
         }
     };
     config.nstxout = 0;
+    config.backend = args.backend;
     let args = Args {
         steps: steps_override.unwrap_or(args.steps),
         ..args
     };
     let mut engine = Engine::new(sys, config);
     println!(
-        "running {} steps of {} ps (cutoff {:.2} nm, version {})",
+        "running {} steps of {} ps (cutoff {:.2} nm, version {}, backend {})",
         args.steps,
         engine.config().dt,
         engine.config().params.r_cut,
-        args.version.name()
+        args.version.name(),
+        args.backend.cli_name()
     );
 
     let mut traj = args.traj.as_ref().map(|path| {

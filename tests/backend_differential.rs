@@ -1,0 +1,136 @@
+//! Differential testing of the two kernel execution backends.
+//!
+//! The metered backend is the reference: sequential, cycle-accounted,
+//! validated against the scalar `mdsim` engine since PR 1. The native
+//! backend reruns the same physics on a real thread pool with 8-wide
+//! SIMD, so it cannot be bit-identical on the cluster kernels (FP
+//! summation order moves) — but it must be *deterministically* close:
+//!
+//! - `Ori` / `GldNaive` delegate to the metered code paths, so their
+//!   checksums must match the metered backend **bitwise**.
+//! - For the cluster kernels (`rma`/`rca`/`ustc`) the cutoff decision
+//!   uses the same operation association on both backends, so the pair
+//!   count is **exactly** equal; energies agree to 1e-4 relative and
+//!   forces to 1e-3 of the largest force (the f32 resummation bound —
+//!   reductions of ~100 terms with |relative error| ≤ n·ε/2 ≈ 6e-6
+//!   per term, amplified by cancellation in near-equilibrium water).
+//! - The native backend is run-to-run **bit-identical**, at every
+//!   thread count: lanes own fixed index ranges and all cross-lane
+//!   merging happens after the join in lane order, so the OS schedule
+//!   cannot reach the FP order.
+//!
+//! Finally, the native backend must actually pass the swcheck
+//! happens-before certification gate (`Certified::admit`) that the
+//! engine demands of a `Concurrency::Threads` substrate.
+
+use sw_gromacs::swgmx::backend::{
+    AnyBackend, BackendSel, Certified, Concurrency, KernelBackend, NativeBackend,
+};
+use sw_gromacs::swgmx::check::{physics_checksum, run_variant_with, Variant};
+
+const SEEDS: [u64; 3] = [1, 2, 3];
+const SIZES: [usize; 3] = [40, 90, 160];
+
+fn checksum_with(backend: &AnyBackend, variant: Variant, n_mol: usize, seed: u64) -> u64 {
+    let out = run_variant_with(backend, variant, n_mol, seed);
+    physics_checksum(&out.forces, &out.energies)
+}
+
+#[test]
+fn delegated_variants_are_bitwise_identical_across_backends() {
+    let metered = AnyBackend::of(BackendSel::Metered);
+    let native = AnyBackend::of(BackendSel::Native);
+    for variant in [Variant::Ori, Variant::GldNaive] {
+        for n_mol in SIZES {
+            for seed in SEEDS {
+                assert_eq!(
+                    checksum_with(&metered, variant, n_mol, seed),
+                    checksum_with(&native, variant, n_mol, seed),
+                    "{} n_mol={n_mol} seed={seed}",
+                    variant.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cluster_kernels_match_metered_within_resummation_bounds() {
+    let metered = AnyBackend::of(BackendSel::Metered);
+    let native = AnyBackend::of(BackendSel::Native);
+    for variant in [Variant::Rma, Variant::Rca, Variant::Ustc] {
+        for n_mol in SIZES {
+            for seed in SEEDS {
+                let m = run_variant_with(&metered, variant, n_mol, seed);
+                let n = run_variant_with(&native, variant, n_mol, seed);
+                let tag = format!("{} n_mol={n_mol} seed={seed}", variant.name());
+
+                // Identical cutoff decisions: exactly the same pairs.
+                assert_eq!(
+                    m.energies.pairs_within_cutoff, n.energies.pairs_within_cutoff,
+                    "{tag}: pair count"
+                );
+
+                let e_m = m.energies.total();
+                let e_n = n.energies.total();
+                assert!(
+                    (e_m - e_n).abs() / e_m.abs() < 1e-4,
+                    "{tag}: energy {e_m} vs {e_n}"
+                );
+
+                let fmax = m.forces.iter().map(|f| f.norm()).fold(0.0f32, f32::max);
+                let diff = sw_gromacs::mdsim::nonbonded::max_force_diff(&n.forces, &m.forces);
+                assert!(diff / fmax < 1e-3, "{tag}: force diff {diff} of max {fmax}");
+            }
+        }
+    }
+}
+
+#[test]
+fn native_backend_is_deterministic_at_every_thread_count() {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut reference: Option<Vec<u64>> = None;
+    for threads in [1, 4, host] {
+        let backend = AnyBackend::Native(NativeBackend::with_threads(threads));
+        for round in 0..2 {
+            let sums: Vec<u64> = [Variant::Rma, Variant::Rca, Variant::Ustc]
+                .into_iter()
+                .map(|v| checksum_with(&backend, v, 90, 7))
+                .collect();
+            match &reference {
+                None => reference = Some(sums),
+                Some(want) => assert_eq!(
+                    want, &sums,
+                    "native backend moved at {threads} threads (round {round})"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn native_backend_is_admitted_by_the_certification_gate() {
+    let report = swcheck::schedule::certify(&swcheck::schedule::CertifyOptions {
+        n_mol: 100,
+        seeds: vec![1, 2],
+        schedules: 200,
+        backend: BackendSel::Native,
+    });
+    for o in &report.outcomes {
+        assert!(
+            o.problems.is_empty(),
+            "{}: {:?}",
+            o.variant.name(),
+            o.problems
+        );
+    }
+    let cert = report.certificate.expect("native certification failed");
+    assert_eq!(cert.backend, "native-threads");
+
+    // The gate itself: a Threads-concurrency backend is admitted with
+    // this certificate (panics on any shortfall).
+    let admitted = Certified::admit(NativeBackend::new(), cert);
+    assert_eq!(admitted.concurrency(), Concurrency::Threads);
+}

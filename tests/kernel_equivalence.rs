@@ -7,8 +7,8 @@ use sw_gromacs::mdsim::pairlist::{ListKind, PairList};
 use sw_gromacs::mdsim::water::water_box;
 use sw_gromacs::sw26010::CoreGroup;
 use sw_gromacs::swgmx::{
-    run_ori, run_rca, run_rma, run_ustc, CpePairList, KernelResult, PackageLayout, PackedSystem,
-    RmaConfig,
+    run_ori, run_rca, run_rma, run_ustc, AnyBackend, BackendSel, CpePairList, KernelBackend,
+    KernelInput, KernelResult, PackageLayout, PackedSystem, RmaConfig, Variant,
 };
 
 struct Setup {
@@ -51,7 +51,7 @@ fn reference(s: &Setup) -> (Vec<sw_gromacs::mdsim::Vec3>, f64) {
     (r.force, en.total())
 }
 
-fn check(name: &str, out: &KernelResult, f_ref: &[sw_gromacs::mdsim::Vec3], e_ref: f64) {
+fn check_physics(name: &str, out: &KernelResult, f_ref: &[sw_gromacs::mdsim::Vec3], e_ref: f64) {
     let rel = (out.energies.total() - e_ref).abs() / e_ref.abs();
     assert!(
         rel < 1e-4,
@@ -62,6 +62,10 @@ fn check(name: &str, out: &KernelResult, f_ref: &[sw_gromacs::mdsim::Vec3], e_re
     let fmax = f_ref.iter().map(|f| f.norm()).fold(0.0f32, f32::max);
     let diff = max_force_diff(&out.forces, f_ref);
     assert!(diff / fmax < 1e-3, "{name}: force diff {diff} of {fmax}");
+}
+
+fn check(name: &str, out: &KernelResult, f_ref: &[sw_gromacs::mdsim::Vec3], e_ref: f64) {
+    check_physics(name, out, f_ref, e_ref);
     assert!(out.total.cycles > 0, "{name}: no cost accounted");
 }
 
@@ -101,6 +105,44 @@ fn every_variant_matches_the_reference() {
         &f_ref,
         e_ref,
     );
+}
+
+#[test]
+fn every_variant_matches_the_reference_on_both_backends() {
+    // The same workload through the backend dispatch seam: the metered
+    // backend must reproduce the direct-call results above, and the
+    // native thread-pool backend must hit the same physics bounds. The
+    // setup packs transposed, which both backends' cluster kernels use;
+    // Ori wants interleaved, so it is exercised separately (the
+    // differential suite covers its bitwise cross-backend identity).
+    let s = setup();
+    let (f_ref, e_ref) = reference(&s);
+    for sel in [BackendSel::Metered, BackendSel::Native] {
+        let backend = AnyBackend::of(sel);
+        for (variant, list) in [
+            (Variant::Rma, &s.half),
+            (Variant::Rca, &s.full),
+            (Variant::Ustc, &s.half),
+        ] {
+            let out = backend.run(
+                variant,
+                KernelInput {
+                    psys: &s.psys,
+                    list,
+                    params: &s.params,
+                },
+            );
+            let name = format!("{}/{}", backend.name(), variant.name());
+            check_physics(&name, &out, &f_ref, e_ref);
+            // Only the metered substrate accounts simulated cycles; the
+            // native backend's costs are wall-clock by design.
+            if sel == BackendSel::Metered {
+                assert!(out.total.cycles > 0, "{name}: no cost accounted");
+            } else {
+                assert_eq!(out.total.cycles, 0, "{name}: native must not meter");
+            }
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,223 @@
+//! Property-based tests for the native backend's 8-wide SIMD inner loop
+//! (`swgmx::kernels::native_simd`) against a straight scalar reference
+//! built from `mdsim::nonbonded::pair_interaction`.
+//!
+//! Random packages (positions, charges, types, interaction masks) are
+//! thrown at `cluster_pair_wide8`; the properties pin down:
+//!
+//! - the cutoff decision is **exactly** the scalar one (same pair set),
+//! - forces and energies agree within the f32 bound of a reordered
+//!   8-term reduction,
+//! - a tail entry (`cluster_pair_wide4`) matches the same reference,
+//! - masked-out / all-beyond-cutoff inputs produce exactly zero.
+
+use proptest::prelude::*;
+use sw_gromacs::mdsim::cluster::CLUSTER_SIZE;
+use sw_gromacs::mdsim::nonbonded::{pair_interaction, NbParams};
+use sw_gromacs::swgmx::kernels::native_simd::{
+    cluster_pair_wide4, cluster_pair_wide8, EntryJ, WideFi,
+};
+
+const PKG_WORDS: usize = 5 * CLUSTER_SIZE;
+const FORCE_WORDS: usize = 3 * CLUSTER_SIZE;
+
+/// Build a transposed package (`x1..x4 y1..y4 z1..z4 t1..t4 q1..q4`)
+/// from 12 raw words: per particle (x, y, z), plus per-particle charge
+/// derived from the seed. Types alternate 0/1.
+fn mk_pkg(raw: &[f32], qscale: f32) -> [f32; PKG_WORDS] {
+    let mut pkg = [0.0f32; PKG_WORDS];
+    for p in 0..CLUSTER_SIZE {
+        pkg[p] = raw[3 * p];
+        pkg[CLUSTER_SIZE + p] = raw[3 * p + 1];
+        pkg[2 * CLUSTER_SIZE + p] = raw[3 * p + 2];
+        pkg[3 * CLUSTER_SIZE + p] = (p % 2) as f32;
+        pkg[4 * CLUSTER_SIZE + p] = qscale * (p as f32 - 1.5);
+    }
+    pkg
+}
+
+fn lj_table(ta: usize, tb: usize) -> (f32, f32) {
+    // Arbitrary but nonzero and type-dependent, in the water ballpark.
+    let s = (1 + ta + tb) as f32;
+    (2.6e-3 * s, 2.6e-6 * s)
+}
+
+/// Scalar reference for one outer package against a set of entries:
+/// plain loops over every (ai, bj) mask bit, scalar `pair_interaction`.
+fn scalar_reference(
+    pkg_i: &[f32],
+    entries: &[EntryJ<'_>],
+    params: &NbParams,
+) -> ([f32; FORCE_WORDS], Vec<[f32; FORCE_WORDS]>, f64, f64, u32) {
+    let rc2 = params.r_cut * params.r_cut;
+    let mut fi = [0.0f32; FORCE_WORDS];
+    let mut fjs = vec![[0.0f32; FORCE_WORDS]; entries.len()];
+    let (mut e_lj, mut e_coul, mut n) = (0.0f64, 0.0f64, 0u32);
+    for (ei, e) in entries.iter().enumerate() {
+        for ai in 0..CLUSTER_SIZE {
+            for bj in 0..CLUSTER_SIZE {
+                if (e.mask >> (ai * CLUSTER_SIZE + bj)) & 1 == 0 {
+                    continue;
+                }
+                let dx = pkg_i[ai] - (e.pkg[bj] + e.shift[0]);
+                let dy = pkg_i[CLUSTER_SIZE + ai] - (e.pkg[CLUSTER_SIZE + bj] + e.shift[1]);
+                let dz = pkg_i[2 * CLUSTER_SIZE + ai] - (e.pkg[2 * CLUSTER_SIZE + bj] + e.shift[2]);
+                let r2 = (dx * dx + dy * dy) + dz * dz;
+                if r2 >= rc2 || r2 == 0.0 {
+                    continue;
+                }
+                let ta = pkg_i[3 * CLUSTER_SIZE + ai] as usize;
+                let tb = e.pkg[3 * CLUSTER_SIZE + bj] as usize;
+                let qq = pkg_i[4 * CLUSTER_SIZE + ai] * e.pkg[4 * CLUSTER_SIZE + bj];
+                let (c6, c12) = lj_table(ta, tb);
+                let (f, elj, ecoul) = pair_interaction(r2, c6, c12, qq, params);
+                fi[3 * ai] += dx * f;
+                fi[3 * ai + 1] += dy * f;
+                fi[3 * ai + 2] += dz * f;
+                fjs[ei][3 * bj] -= dx * f;
+                fjs[ei][3 * bj + 1] -= dy * f;
+                fjs[ei][3 * bj + 2] -= dz * f;
+                e_lj += elj as f64;
+                e_coul += ecoul as f64;
+                n += 1;
+            }
+        }
+    }
+    (fi, fjs, e_lj, e_coul, n)
+}
+
+fn assert_close(got: &[f32], want: &[f32], scale: f32, tag: &str) -> Result<(), String> {
+    for (k, (g, w)) in got.iter().zip(want).enumerate() {
+        if (g - w).abs() > 1e-4 * scale + 1e-6 {
+            return Err(format!("{tag}[{k}]: {g} vs {w} (scale {scale})"));
+        }
+    }
+    Ok(())
+}
+
+fn force_scale(fi: &[f32], fjs: &[[f32; FORCE_WORDS]]) -> f32 {
+    fi.iter()
+        .chain(fjs.iter().flatten())
+        .fold(1.0f32, |m, v| m.max(v.abs()))
+}
+
+proptest! {
+    /// The 8-wide kernel selects exactly the scalar pair set and agrees
+    /// on forces/energies within the resummation bound.
+    #[test]
+    fn wide8_matches_scalar_reference(
+        ri in prop::collection::vec(0.05f32..1.1, 12),
+        r0 in prop::collection::vec(0.05f32..1.1, 12),
+        r1 in prop::collection::vec(0.05f32..1.1, 12),
+        mask0 in 0u16..=u16::MAX,
+        mask1 in 0u16..=u16::MAX,
+        shift in -1.0f32..1.0,
+    ) {
+        let params = NbParams { r_cut: 0.9, ..NbParams::paper_default() };
+        let pkg_i = mk_pkg(&ri, 0.4);
+        let p0 = mk_pkg(&r0, -0.3);
+        let p1 = mk_pkg(&r1, 0.5);
+        let e0 = EntryJ { pkg: &p0, shift: [shift, 0.0, -shift], mask: mask0 };
+        let e1 = EntryJ { pkg: &p1, shift: [0.0, shift, 0.0], mask: mask1 };
+
+        let (fi_ref, fjs_ref, elj_ref, ecoul_ref, n_ref) =
+            scalar_reference(&pkg_i, &[e0, e1], &params);
+
+        let mut wfi = WideFi::ZERO;
+        let mut fj0 = [0.0f32; FORCE_WORDS];
+        let mut fj1 = [0.0f32; FORCE_WORDS];
+        let (elj, ecoul, n) = cluster_pair_wide8(
+            &pkg_i, e0, e1, &params, &lj_table, &mut wfi, &mut fj0, &mut fj1,
+        );
+        let mut fi = [0.0f32; FORCE_WORDS];
+        wfi.fold_into(&mut fi);
+
+        // Cutoff decisions are bit-identical: exactly the same pairs.
+        prop_assert_eq!(n, n_ref);
+
+        let scale = force_scale(&fi_ref, &fjs_ref);
+        assert_close(&fi, &fi_ref, scale, "fi")?;
+        assert_close(&fj0, &fjs_ref[0], scale, "fj0")?;
+        assert_close(&fj1, &fjs_ref[1], scale, "fj1")?;
+        let escale = elj_ref.abs().max(ecoul_ref.abs()).max(1.0);
+        prop_assert!((elj - elj_ref).abs() < 1e-4 * escale, "e_lj {} vs {}", elj, elj_ref);
+        prop_assert!((ecoul - ecoul_ref).abs() < 1e-4 * escale, "e_coul {} vs {}", ecoul, ecoul_ref);
+    }
+
+    /// The 4-wide tail fallback agrees with the same scalar reference
+    /// (it *is* the metered FloatV4 arithmetic, so the bound is tight).
+    #[test]
+    fn wide4_tail_matches_scalar_reference(
+        ri in prop::collection::vec(0.05f32..1.1, 12),
+        r0 in prop::collection::vec(0.05f32..1.1, 12),
+        mask in 0u16..=u16::MAX,
+        shift in -1.0f32..1.0,
+    ) {
+        let params = NbParams { r_cut: 0.9, ..NbParams::paper_default() };
+        let pkg_i = mk_pkg(&ri, 0.4);
+        let p0 = mk_pkg(&r0, -0.3);
+        let e = EntryJ { pkg: &p0, shift: [shift, -shift, 0.0], mask };
+
+        let (fi_ref, fjs_ref, elj_ref, ecoul_ref, n_ref) =
+            scalar_reference(&pkg_i, &[e], &params);
+
+        let mut fi = [0.0f32; FORCE_WORDS];
+        let mut fj = [0.0f32; FORCE_WORDS];
+        let (elj, ecoul, n) = cluster_pair_wide4(&pkg_i, e, &params, &lj_table, &mut fi, &mut fj);
+
+        prop_assert_eq!(n, n_ref);
+        let scale = force_scale(&fi_ref, &fjs_ref);
+        assert_close(&fi, &fi_ref, scale, "fi")?;
+        assert_close(&fj, &fjs_ref[0], scale, "fj")?;
+        let escale = elj_ref.abs().max(ecoul_ref.abs()).max(1.0);
+        prop_assert!((elj - elj_ref).abs() < 1e-5 * escale);
+        prop_assert!((ecoul - ecoul_ref).abs() < 1e-5 * escale);
+    }
+
+    /// Everything masked out or beyond the cutoff: the wide kernels
+    /// must return exactly zero (the blend really kills filler lanes).
+    #[test]
+    fn excluded_lanes_contribute_exactly_zero(
+        ri in prop::collection::vec(0.05f32..0.4, 12),
+        far in 50.0f32..90.0,
+        mask in 0u16..=u16::MAX,
+    ) {
+        let params = NbParams { r_cut: 0.9, ..NbParams::paper_default() };
+        let pkg_i = mk_pkg(&ri, 0.4);
+        // Entry 0: fully masked out. Entry 1: all pairs far outside rc.
+        let p0 = mk_pkg(&ri, -0.3);
+        let mut raw_far = ri.clone();
+        for v in raw_far.iter_mut() {
+            *v += far;
+        }
+        let p1 = mk_pkg(&raw_far, 0.5);
+        let e0 = EntryJ { pkg: &p0, shift: [0.0; 3], mask: 0 };
+        let e1 = EntryJ { pkg: &p1, shift: [0.0; 3], mask };
+
+        let mut wfi = WideFi::ZERO;
+        let mut fj0 = [0.0f32; FORCE_WORDS];
+        let mut fj1 = [0.0f32; FORCE_WORDS];
+        let (elj, ecoul, n) = cluster_pair_wide8(
+            &pkg_i, e0, e1, &params, &lj_table, &mut wfi, &mut fj0, &mut fj1,
+        );
+        let mut fi = [0.0f32; FORCE_WORDS];
+        wfi.fold_into(&mut fi);
+        prop_assert_eq!(n, 0);
+        prop_assert_eq!(elj, 0.0);
+        prop_assert_eq!(ecoul, 0.0);
+        for v in fi.iter().chain(fj0.iter()).chain(fj1.iter()) {
+            prop_assert_eq!(*v, 0.0);
+        }
+
+        let mut fi4 = [0.0f32; FORCE_WORDS];
+        let mut fj4 = [0.0f32; FORCE_WORDS];
+        let (elj4, ecoul4, n4) =
+            cluster_pair_wide4(&pkg_i, e1, &params, &lj_table, &mut fi4, &mut fj4);
+        prop_assert_eq!(n4, 0);
+        prop_assert_eq!(elj4, 0.0);
+        prop_assert_eq!(ecoul4, 0.0);
+        for v in fi4.iter().chain(fj4.iter()) {
+            prop_assert_eq!(*v, 0.0);
+        }
+    }
+}
