@@ -35,6 +35,9 @@ pub struct RecoveryReport {
     pub checkpoint_io_retries: u64,
     /// Checkpoints successfully serialized.
     pub checkpoints_written: u64,
+    /// Worker-thread panics (poisoned native-pool regions) absorbed by
+    /// rollback instead of propagating.
+    pub lane_panics: u64,
     /// Whether the engine ended the run degraded to the `Ori` kernel.
     pub degraded: bool,
     /// Kernel faults absorbed by the engine during the run.
@@ -148,6 +151,13 @@ impl FaultTolerantRunner {
         &self.engine
     }
 
+    /// The report accumulated so far (e.g. to read `resumed_from`
+    /// right after [`FaultTolerantRunner::new_durable`], before any
+    /// steps have run).
+    pub fn report(&self) -> &RecoveryReport {
+        &self.report
+    }
+
     /// Serialize with bounded retry against injected I/O faults; a
     /// retried write starts over with a fresh buffer, so the bytes are
     /// identical to a first-try success.
@@ -200,6 +210,7 @@ impl FaultTolerantRunner {
     /// are shielded from further abort decisions, guaranteeing forward
     /// progress and deterministic termination.
     pub fn run_until(&mut self, until_step: usize) -> io::Result<&RecoveryReport> {
+        let mut consecutive_panics = 0u32;
         while self.engine.step_index() < until_step {
             let step = self.engine.step_index();
             // Checkpoint at each boundary the first time it is reached;
@@ -212,8 +223,38 @@ impl FaultTolerantRunner {
                 )?;
                 self.persist(step as u64)?;
             }
-            self.engine.step();
+            // A worker-thread panic mid-step (a poisoned native-pool
+            // region) leaves the engine with partial forces; recovery
+            // is the same as a step abort — discard everything since
+            // the checkpoint and replay. Bounded: a step that panics on
+            // every retry is a real bug, not chaos, and must surface.
+            let stepped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.engine.step();
+            }));
             self.report.step_executions += 1;
+            if stepped.is_err() {
+                self.report.lane_panics += 1;
+                self.report.rollbacks += 1;
+                consecutive_panics += 1;
+                if consecutive_panics > swfault::retry::MAX_ATTEMPTS {
+                    return Err(io::Error::other(
+                        "kernel lane panicked on every replay of one step; giving up",
+                    ));
+                }
+                if swprof::enabled() {
+                    swprof::metrics::counter_add("fault.rollbacks", 1);
+                    swprof::metrics::counter_add("fault.lane_panics", 1);
+                }
+                let cp = Self::deserialize(&self.cp_bytes, &mut self.report)?;
+                swtel::flight::record("abort", "lane_panic", step as u64, cp.step);
+                if let Some(store) = &self.store {
+                    let _ = swtel::flight::dump_to(&store.dir().join("blackbox-rollback.json"));
+                }
+                cp.restore(&mut self.engine.sys)?;
+                self.engine.resume_at(cp.step as usize);
+                continue;
+            }
+            consecutive_panics = 0;
             let now = self.engine.step_index();
             if now > self.high_water {
                 self.high_water = now;
@@ -250,6 +291,7 @@ impl FaultTolerantRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::BackendSel;
     use crate::engine::{Engine, EngineConfig, Version};
     use mdsim::water::water_box_equilibrated;
 
@@ -258,6 +300,46 @@ mod tests {
             water_box_equilibrated(48, 300.0, 11),
             EngineConfig::paper(Version::Other),
         )
+    }
+
+    #[test]
+    fn injected_worker_panic_rolls_back_and_replays_bit_identically() {
+        let native = || {
+            Engine::new(
+                water_box_equilibrated(48, 300.0, 11),
+                EngineConfig {
+                    backend: BackendSel::Native,
+                    ..EngineConfig::paper(Version::Other)
+                },
+            )
+        };
+        // Reference: the same campaign with no chaos.
+        let mut reference = FaultTolerantRunner::new(native(), 10).unwrap();
+        reference.run_until(20).unwrap();
+
+        // One scripted pool-worker panic at lane 7's first region: the
+        // poisoned region surfaces through Engine::step as a panic,
+        // which the runner absorbs as a rollback, and the replayed step
+        // (the one-shot is consumed) lands bit-identically.
+        let scope = swfault::install(swfault::FaultPlan::with_seed(5).one_shot(
+            swfault::Site::LanePanic,
+            Some(7),
+            0,
+        ));
+        let mut faulted = FaultTolerantRunner::new(native(), 10).unwrap();
+        let report = faulted.run_until(20).unwrap().clone();
+        let log = scope.finish();
+        assert_eq!(report.lane_panics, 1);
+        assert!(report.rollbacks >= 1);
+        assert_eq!(log.count(swfault::Site::LanePanic), 1);
+
+        let (engine_a, _) = reference.into_parts();
+        let (engine_b, _) = faulted.into_parts();
+        for (x, y) in engine_a.sys.pos.iter().zip(&engine_b.sys.pos) {
+            assert_eq!(x.x.to_bits(), y.x.to_bits(), "panic recovery diverged");
+            assert_eq!(x.y.to_bits(), y.y.to_bits());
+            assert_eq!(x.z.to_bits(), y.z.to_bits());
+        }
     }
 
     #[test]

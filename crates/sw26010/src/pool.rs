@@ -53,6 +53,24 @@ struct Shared {
     done: Condvar,
 }
 
+/// A kernel region was poisoned: at least one lane body panicked.
+///
+/// The pool itself survives — every lane of the region was drained
+/// before this was reported, so the next region starts clean. Callers
+/// that can roll back (the fault-tolerant runner restores the last
+/// checkpoint and replays) treat this exactly like a step abort;
+/// callers that cannot propagate it as a panic via [`NativePool::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LanePanic;
+
+impl std::fmt::Display for LanePanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "native pool: a kernel lane panicked")
+    }
+}
+
+impl std::error::Error for LanePanic {}
+
 /// Persistent thread pool executing kernel lanes for the native backend.
 pub struct NativePool {
     shared: Arc<Shared>,
@@ -112,8 +130,20 @@ impl NativePool {
     /// completed. Panics (after draining the region) if any lane body
     /// panicked.
     pub fn run<F: Fn(usize) + Sync>(&self, n_lanes: usize, f: F) {
+        assert!(
+            self.try_run(n_lanes, f).is_ok(),
+            "native pool: a kernel lane panicked"
+        );
+    }
+
+    /// Like [`NativePool::run`], but a panicked lane is surfaced as
+    /// [`LanePanic`] after the region drains instead of re-panicking on
+    /// the submitter thread. The pool stays usable either way; partial
+    /// lane output from a poisoned region must be discarded by the
+    /// caller (the fault-tolerant runner restores its checkpoint).
+    pub fn try_run<F: Fn(usize) + Sync>(&self, n_lanes: usize, f: F) -> Result<(), LanePanic> {
         if n_lanes == 0 {
-            return;
+            return Ok(());
         }
         let erased: &(dyn Fn(usize) + Sync) = &f;
         // SAFETY: erases the closure's lifetime to park it in the shared
@@ -142,7 +172,11 @@ impl NativePool {
         let poisoned = st.panicked;
         st.panicked = false;
         drop(st);
-        assert!(!poisoned, "native pool: a kernel lane panicked");
+        if poisoned {
+            Err(LanePanic)
+        } else {
+            Ok(())
+        }
     }
 }
 
@@ -227,6 +261,16 @@ fn run_lane(f: &(dyn Fn(usize) + Sync), lane: usize) {
             }
             attempt += 1;
         }
+        // An injected worker-thread panic, decided *before* the lane
+        // body runs so a poisoned region leaves no partial physics from
+        // this lane. The worker's catch_unwind absorbs it; the region
+        // is reported poisoned after the drain.
+        if swfault::should(swfault::Site::LanePanic) {
+            crate::trace::emit_abort("lane-panic");
+            swfault::set_lane(None);
+            crate::trace::set_current_cpe(None);
+            panic!("injected pool worker panic (lane {lane})");
+        }
     }
     f(lane);
     if faults {
@@ -310,5 +354,52 @@ mod tests {
     fn pool_zero_lanes_is_a_noop() {
         let pool = NativePool::with_threads(1);
         pool.run(0, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn try_run_reports_a_poisoned_region_without_panicking() {
+        let pool = NativePool::with_threads(2);
+        let r = pool.try_run(8, |lane| {
+            if lane == 3 {
+                panic!("lane 3 exploded");
+            }
+        });
+        assert_eq!(r, Err(LanePanic));
+        assert_eq!(pool.try_run(8, |_| {}), Ok(()));
+    }
+
+    #[test]
+    fn seeded_lane_panic_fires_before_the_body_and_drains() {
+        // A scripted worker panic on lane 5: the panicking lane never
+        // runs its body, every other lane completes, and the pool is
+        // reusable — the exact contract rollback recovery relies on.
+        let scope = swfault::install(swfault::FaultPlan::with_seed(3).one_shot(
+            swfault::Site::LanePanic,
+            Some(5),
+            0,
+        ));
+        let pool = NativePool::with_threads(2);
+        let hits: Vec<AtomicUsize> = (0..8).map(|_| AtomicUsize::new(0)).collect();
+        let r = pool.try_run(8, |lane| {
+            hits[lane].fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(r, Err(LanePanic));
+        for (lane, h) in hits.iter().enumerate() {
+            let expect = if lane == 5 { 0 } else { 1 };
+            assert_eq!(h.load(Ordering::Relaxed), expect, "lane {lane}");
+        }
+        let log = scope.finish();
+        assert_eq!(log.count(swfault::Site::LanePanic), 1);
+        // The one-shot is consumed by its decision index: the replayed
+        // region (seq 1 on lane 5) is clean, guaranteeing a rollback
+        // that retries the region makes forward progress.
+        let scope2 = swfault::install(swfault::FaultPlan::with_seed(3).one_shot(
+            swfault::Site::LanePanic,
+            Some(5),
+            0,
+        ));
+        assert_eq!(pool.try_run(8, |_| {}), Err(LanePanic));
+        assert_eq!(pool.try_run(8, |_| {}), Ok(()));
+        drop(scope2);
     }
 }

@@ -87,10 +87,18 @@ pub enum Site {
     /// A DD rank dies permanently mid-run (node loss). Detected by the
     /// survivors via halo-exchange timeout; triggers elastic shrink.
     RankKill,
+    /// A queued scheduler job is silently lost from the run queue
+    /// (scheduler memory corruption / dropped enqueue). Detected by the
+    /// registry-vs-queue reconciliation sweep, which re-enqueues it.
+    SchedJobDrop,
+    /// A pool worker thread panics mid-lane (real `panic!`, not a
+    /// simulated hang). Surfaced by `NativePool` as a poisoned region
+    /// and rolled back by the fault-tolerant runner like a step abort.
+    LanePanic,
 }
 
 /// Number of distinct [`Site`]s.
-pub const N_SITES: usize = 14;
+pub const N_SITES: usize = 16;
 
 impl Site {
     /// Every site, in declaration order.
@@ -109,6 +117,8 @@ impl Site {
         Site::StoreBitFlip,
         Site::StoreFsyncFail,
         Site::RankKill,
+        Site::SchedJobDrop,
+        Site::LanePanic,
     ];
 
     /// Stable diagnostic name.
@@ -128,6 +138,8 @@ impl Site {
             Site::StoreBitFlip => "store_bit_flip",
             Site::StoreFsyncFail => "store_fsync_fail",
             Site::RankKill => "rank_kill",
+            Site::SchedJobDrop => "sched_job_drop",
+            Site::LanePanic => "lane_panic",
         }
     }
 
@@ -148,6 +160,8 @@ impl Site {
             Site::StoreBitFlip => "fault.injected.store_bit_flip",
             Site::StoreFsyncFail => "fault.injected.store_fsync_fail",
             Site::RankKill => "fault.injected.rank_kill",
+            Site::SchedJobDrop => "fault.injected.sched_job_drop",
+            Site::LanePanic => "fault.injected.lane_panic",
         }
     }
 }
@@ -206,6 +220,12 @@ pub struct FaultPlan {
     /// Probability a DD rank dies permanently (queried once per rank
     /// per step, lane = the rank index).
     pub rank_kill: f64,
+    /// Probability a queued scheduler job is lost from the run queue
+    /// (queried once per enqueue, lane = the scheduler / MPE).
+    pub sched_job_drop: f64,
+    /// Probability a pool worker thread panics before running its lane
+    /// body (queried once per lane per region, lane = the CPE id).
+    pub lane_panic: f64,
     /// Scripted one-shot events, checked in addition to the rates.
     pub scripted: Vec<OneShot>,
 }
@@ -228,6 +248,8 @@ impl Default for FaultPlan {
             store_bit_flip: 0.0,
             store_fsync_fail: 0.0,
             rank_kill: 0.0,
+            sched_job_drop: 0.0,
+            lane_panic: 0.0,
             scripted: Vec::new(),
         }
     }
@@ -285,6 +307,8 @@ impl FaultPlan {
             Site::StoreBitFlip => self.store_bit_flip,
             Site::StoreFsyncFail => self.store_fsync_fail,
             Site::RankKill => self.rank_kill,
+            Site::SchedJobDrop => self.sched_job_drop,
+            Site::LanePanic => self.lane_panic,
         }
     }
 
@@ -607,6 +631,23 @@ mod tests {
         assert_eq!(p1, p2);
         let u = unit(p1);
         assert!((0.0..1.0).contains(&u));
+    }
+
+    #[test]
+    fn sched_job_drop_is_a_pure_function_of_seed_site_lane_seq() {
+        // The scheduler-level site must replay exactly like the
+        // substrate sites: same seed, same verdict stream.
+        let run = |seed: u64| {
+            let scope = install(FaultPlan {
+                sched_job_drop: 0.25,
+                ..FaultPlan::with_seed(seed)
+            });
+            let v: Vec<bool> = (0..128).map(|_| should(Site::SchedJobDrop)).collect();
+            drop(scope);
+            v
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
     }
 
     #[test]

@@ -31,6 +31,8 @@ fn arb_plan() -> impl Strategy<Value = FaultPlan> {
             store_bit_flip: rates[11],
             store_fsync_fail: rates[12],
             rank_kill: rates[13],
+            sched_job_drop: rates[14],
+            lane_panic: rates[15],
             scripted: Vec::new(),
         })
 }

@@ -582,6 +582,32 @@ mod tests {
     }
 
     #[test]
+    fn reopen_under_a_renamed_directory_preserves_the_chain() {
+        // Everything in the store (manifest entries, generation names)
+        // is epoch-derived and dir-relative, so a campaign's store can
+        // be renamed or moved between restarts — e.g. staged to a
+        // different filesystem — and resume exactly where it left off.
+        let dir = tmpdir("moveme");
+        let (mut store, _) = Store::open(&dir, StoreOptions::default()).unwrap();
+        store.commit(10, &frames(10, 2)).unwrap();
+        store.commit(20, &frames(20, 2)).unwrap();
+        drop(store);
+        let moved = tmpdir("moved-dest");
+        fs::rename(&dir, &moved).unwrap();
+        let (mut store, report) = Store::open(&moved, StoreOptions::default()).unwrap();
+        assert_eq!(report.valid, vec![10, 20]);
+        assert!(report.rejected.is_empty());
+        let g = store.load_newest_valid().unwrap().unwrap();
+        assert_eq!(g.epoch, 20);
+        assert_eq!(g.frames, frames(20, 2));
+        // The reopened store keeps committing in the new location.
+        store.commit(30, &frames(30, 2)).unwrap();
+        assert_eq!(store.chain(), &[10, 20, 30]);
+        assert!(moved.join(gen_name(30)).exists());
+        let _ = fs::remove_dir_all(&moved);
+    }
+
+    #[test]
     fn chain_is_bounded_by_retain() {
         let dir = tmpdir("retain");
         let (mut store, _) = Store::open(&dir, StoreOptions { retain: 3 }).unwrap();

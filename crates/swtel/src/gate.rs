@@ -142,6 +142,9 @@ pub struct FileReport {
     pub name: String,
     /// The fresh run never produced this sidecar.
     pub missing_fresh: bool,
+    /// The fresh run produced this sidecar but no baseline is
+    /// committed: a *new* bench that would silently escape gating.
+    pub missing_baseline: bool,
     /// Per-metric results.
     pub checks: Vec<Check>,
 }
@@ -154,19 +157,22 @@ pub struct GateReport {
 }
 
 impl GateReport {
-    /// True when nothing regressed and nothing went missing.
+    /// True when nothing regressed and nothing went missing — on
+    /// either side: a fresh sidecar without a committed baseline is as
+    /// hard a failure as a baseline without a fresh counterpart.
     pub fn passed(&self) -> bool {
-        self.files
-            .iter()
-            .all(|f| !f.missing_fresh && f.checks.iter().all(|c| !c.regression))
+        self.files.iter().all(|f| {
+            !f.missing_fresh && !f.missing_baseline && f.checks.iter().all(|c| !c.regression)
+        })
     }
 
-    /// Count of failing checks (missing sidecars count once each).
+    /// Count of failing checks (missing sidecars, either side, count
+    /// once each).
     pub fn regressions(&self) -> usize {
         self.files
             .iter()
             .map(|f| {
-                if f.missing_fresh {
+                if f.missing_fresh || f.missing_baseline {
                     1
                 } else {
                     f.checks.iter().filter(|c| c.regression).count()
@@ -190,6 +196,8 @@ impl GateReport {
             out.push_str(&json::escaped(&f.name));
             out.push_str(",\"missing_fresh\":");
             out.push_str(if f.missing_fresh { "true" } else { "false" });
+            out.push_str(",\"missing_baseline\":");
+            out.push_str(if f.missing_baseline { "true" } else { "false" });
             out.push_str(",\"checks\":[");
             for (j, c) in f.checks.iter().enumerate() {
                 if j > 0 {
@@ -226,6 +234,15 @@ impl GateReport {
         for f in &self.files {
             if f.missing_fresh {
                 out.push_str(&format!("FAIL {}: fresh sidecar missing\n", f.name));
+                continue;
+            }
+            if f.missing_baseline {
+                out.push_str(&format!(
+                    "FAIL {n}: new sidecar has no committed baseline — \
+                     copy the fresh {n} into the baselines directory \
+                     (and add tolerance rules if needed) so this bench is gated\n",
+                    n = f.name
+                ));
                 continue;
             }
             for c in &f.checks {
@@ -330,6 +347,7 @@ pub fn compare_docs(
     Ok(FileReport {
         name: name.to_string(),
         missing_fresh: false,
+        missing_baseline: false,
         checks,
     })
 }
@@ -368,9 +386,34 @@ pub fn compare_dirs(baselines: &Path, fresh: &Path) -> Result<GateReport, String
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => report.files.push(FileReport {
                 name,
                 missing_fresh: true,
+                missing_baseline: false,
                 checks: Vec::new(),
             }),
             Err(e) => return Err(format!("{name} (fresh): {e}")),
+        }
+    }
+    // The reverse sweep: a fresh sidecar with no committed baseline is
+    // a *new* bench that would otherwise silently skip gating. An
+    // unreadable fresh dir is not an error here — every baseline is
+    // already reported missing_fresh above.
+    if let Ok(entries) = std::fs::read_dir(fresh) {
+        let mut extra: Vec<String> = entries
+            .filter_map(|entry| {
+                let name = entry.ok()?.file_name().into_string().ok()?;
+                (name.starts_with("BENCH_")
+                    && name.ends_with(".json")
+                    && !report.files.iter().any(|f| f.name == name))
+                .then_some(name)
+            })
+            .collect();
+        extra.sort();
+        for name in extra {
+            report.files.push(FileReport {
+                name,
+                missing_fresh: false,
+                missing_baseline: true,
+                checks: Vec::new(),
+            });
         }
     }
     Ok(report)
@@ -464,6 +507,35 @@ mod tests {
         assert_eq!(v.get("pass"), Some(&Value::Bool(true)));
         assert_eq!(v.get("regressions").and_then(|r| r.as_num()), Some(0.0));
         assert!(rep.summary().starts_with("PASS"));
+    }
+
+    #[test]
+    fn new_fresh_sidecar_without_baseline_is_a_hard_error() {
+        let root = std::env::temp_dir().join(format!("swtel-gate-newfresh-{}", std::process::id()));
+        let baselines = root.join("baselines");
+        let fresh = root.join("fresh");
+        std::fs::create_dir_all(&baselines).unwrap();
+        std::fs::create_dir_all(&fresh).unwrap();
+        std::fs::write(baselines.join("BENCH_demo.json"), BASE).unwrap();
+        std::fs::write(fresh.join("BENCH_demo.json"), BASE).unwrap();
+        std::fs::write(fresh.join("BENCH_new.json"), BASE).unwrap();
+        let rep = compare_dirs(&baselines, &fresh).unwrap();
+        assert!(!rep.passed(), "an ungated new bench must fail the gate");
+        assert_eq!(rep.regressions(), 1);
+        let f = rep
+            .files
+            .iter()
+            .find(|f| f.name == "BENCH_new.json")
+            .unwrap();
+        assert!(f.missing_baseline && !f.missing_fresh && f.checks.is_empty());
+        let summary = rep.summary();
+        assert!(
+            summary.contains("no committed baseline"),
+            "message must say what to do: {summary}"
+        );
+        let v = json::parse(&rep.to_json()).unwrap();
+        assert_eq!(v.get("pass"), Some(&Value::Bool(false)));
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

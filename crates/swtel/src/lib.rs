@@ -40,6 +40,35 @@ pub mod gate;
 pub mod merge;
 pub mod straggler;
 
+/// Canonical span/flow labels for the request-serving plane
+/// (`swserve`), so one merged timeline reads the same in every tool:
+/// a request is `submit → admit → schedule → run → deliver`, with the
+/// `job.*` flows stitching client, scheduler, and worker ranks.
+///
+/// Span labels are `&'static str` by the [`span_on`] contract; keeping
+/// them here (instead of scattered string literals in the service)
+/// makes the taxonomy greppable and collision-free.
+pub mod service {
+    /// Client-side span around one submit attempt.
+    pub const SPAN_SUBMIT: &str = "swserve.submit";
+    /// Scheduler-side span around one admission decision.
+    pub const SPAN_ADMIT: &str = "swserve.admit";
+    /// Scheduler-side span around one dispatch decision.
+    pub const SPAN_SCHEDULE: &str = "swserve.schedule";
+    /// Worker-side span around one execution quantum.
+    pub const SPAN_RUN: &str = "swserve.run";
+    /// Scheduler-side span around trajectory delivery.
+    pub const SPAN_DELIVER: &str = "swserve.deliver";
+    /// Flow: client submit reaching the scheduler.
+    pub const FLOW_SUBMIT: &str = "job.submit";
+    /// Flow: scheduler dispatching a job to a worker.
+    pub const FLOW_DISPATCH: &str = "job.dispatch";
+    /// Flow: worker reporting completion to the scheduler.
+    pub const FLOW_RESULT: &str = "job.result";
+    /// Flow: scheduler delivering the trajectory to the client.
+    pub const FLOW_DELIVER: &str = "job.deliver";
+}
+
 /// Fast check: is a tracing session active? One relaxed atomic load.
 #[inline(always)]
 pub fn enabled() -> bool {

@@ -158,6 +158,50 @@ fn process_kill_then_restart_is_bit_identical() {
 }
 
 #[test]
+fn restart_under_a_renamed_store_dir_is_bit_identical() {
+    // A campaign's store directory can be renamed or moved between the
+    // crash and the restart (staging to another filesystem, an operator
+    // reorganizing scratch space): everything in the manifest is
+    // epoch-derived and dir-relative, so recovery must not care where
+    // the chain now lives.
+    let dir = store_dir("move");
+    let moved = store_dir("move-dest");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&moved);
+    std::fs::create_dir_all(store_root()).unwrap();
+
+    // Phase 1: run to step 10 in place (in-process "crash": the run
+    // stops mid-campaign and the partial chain stays on disk).
+    {
+        let _scope = swfault::install(FaultPlan::default());
+        durable_run(&dir, CRASH_AT);
+    }
+
+    // The whole store directory moves before the restart.
+    std::fs::rename(&dir, &moved).expect("rename store dir");
+
+    // Phase 2: resume from the new location and complete the campaign.
+    let _scope = swfault::install(FaultPlan::default());
+    let (resumed_sys, resumed_report) = durable_run(&moved, N_STEPS);
+    assert_eq!(
+        resumed_report.resumed_from,
+        Some(CRASH_AT - CRASH_AT % EPOCH_INTERVAL)
+    );
+
+    // Reference: one unfailed run of the same campaign.
+    let dir_ref = store_dir("move-ref");
+    let _ = std::fs::remove_dir_all(&dir_ref);
+    let (ref_sys, ref_report) = durable_run(&dir_ref, N_STEPS);
+    assert_eq!(ref_report.resumed_from, None);
+
+    assert_bits_equal(&resumed_sys, &ref_sys, "restart under renamed dir");
+    assert_finite(&resumed_sys);
+    assert_clean_audit(&resumed_report, "renamed-dir-restart");
+    let _ = std::fs::remove_dir_all(&moved);
+    let _ = std::fs::remove_dir_all(&dir_ref);
+}
+
+#[test]
 fn rank_death_survivors_finish_with_clean_audit() {
     let dir = store_dir("rankdeath");
     let _ = std::fs::remove_dir_all(&dir);

@@ -1,0 +1,125 @@
+//! swserve chaos acceptance: a full load run — hundreds of concurrent
+//! jobs across a worker pool — under scripted worker kills, queue
+//! drops, and store faults completes **100% of admitted jobs** with
+//! trajectories bit-identical to a fault-free reference run.
+//!
+//! This is the robustness criterion of the serving plane in one test:
+//! liveness (nothing wedges, nothing is lost), durability (every
+//! resume comes off the swstore chain), and determinism (recovery is
+//! bit-exact, so the SLO numbers are assertable facts).
+//!
+//! `SWSERVE_CHAOS_SEED` (optional) varies the campaign for the CI
+//! chaos matrix.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use swserve::loadgen::{self, LoadPlan};
+
+const N_JOBS: usize = 200;
+const N_WORKERS: usize = 4;
+
+fn seed() -> u64 {
+    std::env::var("SWSERVE_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(11)
+}
+
+fn store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "swserve-chaos-{tag}-{:x}-{}",
+        seed(),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn chaos_load_completes_every_admitted_job_bit_identically() {
+    let plan = LoadPlan::standard(seed(), N_JOBS, N_WORKERS);
+
+    // Fault-free reference: every job's ground-truth trajectory.
+    let ref_dir = store("ref");
+    let reference = loadgen::run(&plan, &ref_dir).expect("reference run");
+    let ref_stats = &reference.slo.stats;
+    assert_eq!(ref_stats.admitted, N_JOBS as u64);
+    assert_eq!(ref_stats.completed, N_JOBS as u64);
+    assert_eq!(ref_stats.worker_kills, 0);
+    assert_eq!(reference.checksums.len(), N_JOBS);
+
+    // The same campaign under the standard chaos mix.
+    let chaos_dir = store("chaos");
+    let chaos = loadgen::run(&plan.clone().with_chaos(), &chaos_dir).expect("chaos run");
+    let stats = &chaos.slo.stats;
+
+    // Chaos actually happened — this test must not pass vacuously.
+    assert!(
+        stats.worker_kills > 0,
+        "no worker kills injected: {stats:?}"
+    );
+    assert!(stats.job_drops > 0, "no queue drops injected");
+    assert!(stats.readmissions > 0, "no liveness-timeout readmissions");
+    assert!(stats.requeues > 0, "no reconcile requeues");
+    assert!(
+        stats.resumes > 0,
+        "no durable resumes: kills never interrupted a running job"
+    );
+    assert!(chaos.slo.injected_faults > 0);
+
+    // Zero loss: every admitted job completed, nothing shed/rejected
+    // (the harness provisions generous quotas), nothing wedged.
+    assert_eq!(stats.admitted, N_JOBS as u64);
+    assert_eq!(stats.completed, stats.admitted, "lost jobs under chaos");
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.rejected, 0);
+
+    // Bit-identity: every trajectory matches the fault-free reference.
+    assert_eq!(chaos.checksums.len(), reference.checksums.len());
+    let diverged: BTreeMap<_, _> = chaos
+        .checksums
+        .iter()
+        .filter(|(seed, cks)| reference.checksums.get(*seed) != Some(*cks))
+        .collect();
+    assert!(
+        diverged.is_empty(),
+        "{} of {} trajectories diverged from the fault-free reference \
+         (kills={}, resumes={}, rollbacks={}): {:?}",
+        diverged.len(),
+        chaos.checksums.len(),
+        stats.worker_kills,
+        stats.resumes,
+        stats.rollbacks,
+        diverged.keys().take(5).collect::<Vec<_>>()
+    );
+
+    // Chaos may not degrade *what* was computed, only *when*: latency
+    // percentiles can move, completion counts cannot.
+    assert_eq!(chaos.slo.stats.md_steps, reference.slo.stats.md_steps);
+
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&chaos_dir);
+}
+
+#[test]
+fn chaos_run_replays_bit_identically() {
+    // The whole service — chaos schedule included — is a pure function
+    // of the plan: two runs agree on every counter and every latency.
+    let plan = LoadPlan {
+        native_every: 0,
+        ..LoadPlan::standard(seed() ^ 0x5EED, 40, 4)
+    }
+    .with_chaos();
+    let dir_a = store("rep-a");
+    let a = loadgen::run(&plan, &dir_a).expect("run a");
+    let dir_b = store("rep-b");
+    let b = loadgen::run(&plan, &dir_b).expect("run b");
+    assert_eq!(a.slo.stats, b.slo.stats);
+    assert_eq!(a.slo.p50_ns, b.slo.p50_ns);
+    assert_eq!(a.slo.p99_ns, b.slo.p99_ns);
+    assert_eq!(a.slo.makespan_ns, b.slo.makespan_ns);
+    assert_eq!(a.checksums, b.checksums);
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
