@@ -113,6 +113,31 @@ pub fn spec_for(plan: &LoadPlan, i: usize) -> JobSpec {
     }
 }
 
+/// Per-tenant slice of the SLO report: the fleet-wide percentiles
+/// recomputed over one tenant's completed jobs, plus its loss
+/// accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantSlo {
+    /// Tenant id.
+    pub tenant: TenantId,
+    /// Jobs admitted for this tenant.
+    pub admitted: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Jobs shed under queue pressure.
+    pub shed: u64,
+    /// Completions past their deadline.
+    pub deadline_misses: u64,
+    /// Median completed-job latency, virtual ns.
+    pub p50_ns: u64,
+    /// 90th-percentile latency.
+    pub p90_ns: u64,
+    /// 99th-percentile latency.
+    pub p99_ns: u64,
+    /// Worst completed-job latency.
+    pub max_ns: u64,
+}
+
 /// Everything one load run measured.
 #[derive(Debug, Clone)]
 pub struct SloReport {
@@ -136,6 +161,8 @@ pub struct SloReport {
     pub makespan_ns: u64,
     /// Completed jobs per virtual second.
     pub jobs_per_vsec: f64,
+    /// Per-tenant breakdown, ascending tenant id.
+    pub per_tenant: Vec<TenantSlo>,
 }
 
 impl SloReport {
@@ -166,6 +193,23 @@ impl SloReport {
         out.push_str(&num("latency_p99_ns", self.p99_ns as f64));
         out.push_str(&num("latency_max_ns", self.max_ns as f64));
         out.push_str(&num("makespan_ns", self.makespan_ns as f64));
+        out.push_str("  \"tenants\": [\n");
+        for (i, t) in self.per_tenant.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"tenant\": {}, \"admitted\": {}, \"completed\": {}, \"shed\": {}, \"deadline_misses\": {}, \"latency_p50_ns\": {}, \"latency_p90_ns\": {}, \"latency_p99_ns\": {}, \"latency_max_ns\": {}}}{}\n",
+                t.tenant,
+                t.admitted,
+                t.completed,
+                t.shed,
+                t.deadline_misses,
+                t.p50_ns,
+                t.p90_ns,
+                t.p99_ns,
+                t.max_ns,
+                if i + 1 < self.per_tenant.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
         out.push_str(&format!(
             "  \"jobs_per_vsec\": {}\n}}\n",
             swprof::json::number(self.jobs_per_vsec)
@@ -173,8 +217,33 @@ impl SloReport {
         out
     }
 
-    /// Human-readable SLO table for the CLI.
+    /// Human-readable SLO table for the CLI, with a per-tenant
+    /// breakdown under the fleet-wide block.
     pub fn table(&self) -> String {
+        let mut out = self.fleet_table();
+        if !self.per_tenant.is_empty() {
+            out.push_str(
+                "\ntenant      admitted  completed  shed  misses        p50        p90        p99        max\n",
+            );
+            for t in &self.per_tenant {
+                out.push_str(&format!(
+                    "  {:<9} {:>8} {:>10} {:>5} {:>7} {:>10} {:>10} {:>10} {:>10}\n",
+                    t.tenant,
+                    t.admitted,
+                    t.completed,
+                    t.shed,
+                    t.deadline_misses,
+                    t.p50_ns,
+                    t.p90_ns,
+                    t.p99_ns,
+                    t.max_ns,
+                ));
+            }
+        }
+        out
+    }
+
+    fn fleet_table(&self) -> String {
         let s = &self.stats;
         format!(
             "jobs        {:>10} submitted  {:>6} admitted  {:>6} completed\n\
@@ -233,6 +302,57 @@ impl SloReport {
     }
 }
 
+/// Build the gateable `swscope` sidecar: alert counts, remaining
+/// fleet error budgets, and the sketch-vs-exact percentile deltas
+/// that prove the error bound held on this run. Every field is a
+/// pure function of the seed, so rendering with a pinned `wall_ns`
+/// (`b.render(0)`) is byte-deterministic — the CLI (`swscope replay
+/// --bench`) and the acceptance test share this builder so their
+/// sidecars agree byte-for-byte.
+pub fn scope_bench(scope: &swscope::Scope, slo: &SloReport, chaos: bool) -> bench::BenchJson {
+    use swscope::slo::{AlertKind, AlertScope, SliKind};
+    let mut b = bench::BenchJson::new("swscope");
+    let count = |k: AlertKind| scope.alerts().iter().filter(|a| a.kind == k).count() as f64;
+    let budget = |sli| {
+        scope
+            .budget(AlertScope::Fleet, sli)
+            .map_or(1.0, |bu| (bu.remaining * 1e6).round() / 1e6)
+    };
+    // Fleet latency percentiles out of the merged per-window sketches,
+    // against the exact sorted-order percentiles the SLO report holds.
+    let mut merged = swscope::sketch::QSketch::new();
+    for w in scope.fleet().closed() {
+        merged.merge(&w.sketch);
+    }
+    b.config_num("jobs", slo.n_jobs as f64)
+        .config_num("workers", slo.n_workers as f64)
+        .config_str("chaos", if chaos { "standard" } else { "off" })
+        .config_num("window_ns", scope.cfg().window_ns as f64)
+        .metric("alerts.fast_burn", count(AlertKind::FastBurn))
+        .metric("alerts.slow_burn", count(AlertKind::SlowBurn))
+        .metric("alerts.anomaly", count(AlertKind::Anomaly))
+        .metric("alerts.clear", count(AlertKind::Clear))
+        .metric("alerts.total", scope.alerts().len() as f64)
+        .metric(
+            "budget.availability.remaining",
+            budget(SliKind::Availability),
+        )
+        .metric("budget.latency.remaining", budget(SliKind::Latency))
+        .metric("windows.closed", scope.fleet().closed().count() as f64)
+        .metric("sketch.samples", merged.count() as f64)
+        .metric("sketch.p50.ns", merged.quantile_pct(50) as f64)
+        .metric("sketch.p99.ns", merged.quantile_pct(99) as f64)
+        .metric(
+            "sketch.p50.delta_ns",
+            merged.quantile_pct(50).abs_diff(slo.p50_ns) as f64,
+        )
+        .metric(
+            "sketch.p99.delta_ns",
+            merged.quantile_pct(99).abs_diff(slo.p99_ns) as f64,
+        );
+    b
+}
+
 /// One finished load run: the report plus per-job trajectory
 /// checksums, keyed by the job's spec seed so chaos and reference runs
 /// match job-for-job even if admission order differs.
@@ -256,19 +376,84 @@ fn percentile(sorted: &[u64], q: u64) -> u64 {
 /// installing the plan's chaos (or a no-op fault scope for
 /// reference runs — the scope also serializes concurrent harnesses).
 pub fn run(plan: &LoadPlan, store_root: &Path) -> io::Result<RunResult> {
+    run_with_scope(plan, store_root, None).map(|(r, _)| r)
+}
+
+/// Like [`run`], but with a live [`swscope`] telemetry plane attached
+/// for the whole run. The returned scope is sealed: its windows,
+/// alerts, and exemplars cover first submit through last delivery.
+/// This is what `swscope replay` uses to re-derive the telemetry
+/// stream from a seed.
+pub fn run_scoped(
+    plan: &LoadPlan,
+    store_root: &Path,
+    scope_cfg: swscope::ScopeConfig,
+) -> io::Result<(RunResult, swscope::Scope)> {
+    let (result, scope) = run_with_scope(plan, store_root, Some(scope_cfg))?;
+    Ok((result, scope.expect("scope attached for the whole run")))
+}
+
+fn run_with_scope(
+    plan: &LoadPlan,
+    store_root: &Path,
+    scope_cfg: Option<swscope::ScopeConfig>,
+) -> io::Result<(RunResult, Option<swscope::Scope>)> {
     let fault_plan = plan
         .chaos
         .clone()
         .unwrap_or_else(|| FaultPlan::with_seed(plan.seed));
     let scope = swfault::install(fault_plan);
-    let result = run_inner(plan, store_root);
+    let result = run_inner(plan, store_root, scope_cfg);
     let log = scope.finish();
-    let mut result = result?;
+    let (mut result, tel_scope) = result?;
     result.slo.injected_faults = log.total();
-    Ok(result)
+    Ok((result, tel_scope))
 }
 
-fn run_inner(plan: &LoadPlan, store_root: &Path) -> io::Result<RunResult> {
+/// Per-tenant breakdown off the registry: loss accounting plus
+/// nearest-rank percentiles over each tenant's completed latencies.
+fn tenant_breakdown(svc: &Service) -> Vec<TenantSlo> {
+    let mut acc: BTreeMap<TenantId, (TenantSlo, Vec<u64>)> = BTreeMap::new();
+    for job in svc.jobs().values() {
+        let e = acc.entry(job.spec.tenant).or_insert_with(|| {
+            (
+                TenantSlo {
+                    tenant: job.spec.tenant,
+                    ..TenantSlo::default()
+                },
+                Vec::new(),
+            )
+        });
+        e.0.admitted += 1;
+        match job.phase {
+            JobPhase::Done(o) => {
+                e.0.completed += 1;
+                if o.deadline_missed {
+                    e.0.deadline_misses += 1;
+                }
+                e.1.push(o.latency_ns);
+            }
+            JobPhase::Shed => e.0.shed += 1,
+            _ => {}
+        }
+    }
+    acc.into_values()
+        .map(|(mut t, mut lats)| {
+            lats.sort_unstable();
+            t.p50_ns = percentile(&lats, 50);
+            t.p90_ns = percentile(&lats, 90);
+            t.p99_ns = percentile(&lats, 99);
+            t.max_ns = lats.last().copied().unwrap_or(0);
+            t
+        })
+        .collect()
+}
+
+fn run_inner(
+    plan: &LoadPlan,
+    store_root: &Path,
+    scope_cfg: Option<swscope::ScopeConfig>,
+) -> io::Result<(RunResult, Option<swscope::Scope>)> {
     let mut cfg = ServiceConfig::new(plan.n_workers, store_root);
     // The harness measures chaos-proofness, not queue-tuning: generous
     // quotas/capacity so admitted == submitted and a kill can never
@@ -276,6 +461,9 @@ fn run_inner(plan: &LoadPlan, store_root: &Path) -> io::Result<RunResult> {
     cfg.admission.queue_capacity = plan.n_jobs.max(16);
     cfg.admission.default_quota = plan.n_jobs.max(16);
     let mut svc = Service::new(cfg)?;
+    if let Some(c) = scope_cfg {
+        svc.attach_scope(swscope::Scope::new(c));
+    }
 
     let mut t = 0u64;
     for i in 0..plan.n_jobs {
@@ -300,21 +488,27 @@ fn run_inner(plan: &LoadPlan, store_root: &Path) -> io::Result<RunResult> {
     let stats = svc.stats().clone();
     let makespan_ns = svc.now_ns();
     let jobs_per_vsec = stats.completed as f64 / (makespan_ns.max(1) as f64 / 1e9);
-    Ok(RunResult {
-        slo: SloReport {
-            n_jobs: plan.n_jobs,
-            n_workers: plan.n_workers,
-            injected_faults: 0, // filled by `run` from the fault log
-            p50_ns: percentile(&latencies, 50),
-            p90_ns: percentile(&latencies, 90),
-            p99_ns: percentile(&latencies, 99),
-            max_ns: latencies.last().copied().unwrap_or(0),
-            makespan_ns,
-            jobs_per_vsec,
-            stats,
+    let per_tenant = tenant_breakdown(&svc);
+    let tel_scope = svc.detach_scope();
+    Ok((
+        RunResult {
+            slo: SloReport {
+                n_jobs: plan.n_jobs,
+                n_workers: plan.n_workers,
+                injected_faults: 0, // filled by the caller's fault log
+                p50_ns: percentile(&latencies, 50),
+                p90_ns: percentile(&latencies, 90),
+                p99_ns: percentile(&latencies, 99),
+                max_ns: latencies.last().copied().unwrap_or(0),
+                makespan_ns,
+                jobs_per_vsec,
+                stats,
+                per_tenant,
+            },
+            checksums,
         },
-        checksums,
-    })
+        tel_scope,
+    ))
 }
 
 #[cfg(test)]

@@ -277,6 +277,9 @@ pub struct Service {
     admission: AdmissionController,
     stats: ServiceStats,
     sweep_scheduled: bool,
+    /// Optional live telemetry plane; every lifecycle transition is
+    /// mirrored into it as a [`swscope::Event`].
+    scope: Option<swscope::Scope>,
 }
 
 impl Service {
@@ -306,7 +309,52 @@ impl Service {
             admission,
             stats: ServiceStats::default(),
             sweep_scheduled: false,
+            scope: None,
         })
+    }
+
+    /// Attach a live telemetry plane. Alert spans land on the
+    /// scheduler rank; every admit/dispatch/complete/kill/retry event
+    /// from here on feeds the plane at the scheduler's virtual clock.
+    pub fn attach_scope(&mut self, mut scope: swscope::Scope) {
+        scope.bind_rank(SCHEDULER_RANK);
+        self.scope = Some(scope);
+    }
+
+    /// Seal and detach the telemetry plane (closes the final partial
+    /// window just past the current virtual time, running one last
+    /// alert evaluation).
+    pub fn detach_scope(&mut self) -> Option<swscope::Scope> {
+        let mut scope = self.scope.take()?;
+        scope.seal(self.now + 1);
+        Some(scope)
+    }
+
+    /// The attached telemetry plane, if any.
+    pub fn scope(&self) -> Option<&swscope::Scope> {
+        self.scope.as_ref()
+    }
+
+    /// Mirror one lifecycle transition into the telemetry plane at the
+    /// current virtual time.
+    fn scope_event(
+        &mut self,
+        tenant: Option<u32>,
+        worker: Option<usize>,
+        job: u64,
+        trace: u64,
+        kind: swscope::Kind,
+    ) {
+        if let Some(scope) = self.scope.as_mut() {
+            scope.on_event(swscope::Event {
+                at_ns: self.now,
+                tenant,
+                worker,
+                job,
+                trace,
+                kind,
+            });
+        }
     }
 
     /// Enqueue a client submission at virtual time `ns`.
@@ -421,6 +469,7 @@ impl Service {
         if let Some(ctx) = &ctx {
             swtel::deliver(ctx, self.cfg.wire_ns);
         }
+        let submit_trace = ctx.as_ref().map_or(0, |c| c.flow_id);
         let _admit = swtel::span_on(SCHEDULER_RANK, labels::SPAN_ADMIT);
         swtel::tick_on(SCHEDULER_RANK, ADMIT_NS);
 
@@ -447,6 +496,7 @@ impl Service {
                     self.admission.release(tenant);
                     self.stats.shed += 1;
                     swtel::flight::record("serve", "job_shed", victim_id, 0);
+                    self.scope_event(Some(tenant), None, victim_id, 0, swscope::Kind::Shed);
                 }
                 _ => {
                     self.stats.queue_full += 1;
@@ -475,6 +525,13 @@ impl Service {
                 last_heartbeat_ns: self.now,
             },
         );
+        self.scope_event(
+            Some(spec.tenant),
+            None,
+            id,
+            submit_trace,
+            swscope::Kind::Admit,
+        );
         self.enqueue(id)
     }
 
@@ -487,8 +544,10 @@ impl Service {
         if next >= swfault::retry::MAX_ATTEMPTS {
             self.stats.rejected += 1;
             swtel::flight::record("serve", "job_rejected", spec.seed, attempt as u64);
+            self.scope_event(Some(spec.tenant), None, 0, 0, swscope::Kind::Reject);
             return Ok(());
         }
+        self.scope_event(Some(spec.tenant), None, 0, 0, swscope::Kind::Retry);
         let payload = mix64(spec.seed ^ ((next as u64) << 32));
         let delay = swfault::retry::backoff_ns(next, self.cfg.retry_base_ns as f64, payload) as u64;
         self.schedule(
@@ -511,6 +570,8 @@ impl Service {
         if swfault::should(Site::SchedJobDrop) {
             self.stats.job_drops += 1;
             swtel::flight::record("serve", "job_drop", id, 0);
+            let tenant = self.jobs[&id].spec.tenant;
+            self.scope_event(Some(tenant), None, id, 0, swscope::Kind::Drop);
         } else {
             self.queue.insert(key);
         }
@@ -574,6 +635,13 @@ impl Service {
         wk.rollbacks_seen = 0;
         wk.lane_panics_seen = 0;
         let incarnation = wk.incarnation;
+        self.scope_event(
+            Some(spec.tenant),
+            Some(w),
+            id,
+            ctx.as_ref().map_or(0, |c| c.flow_id),
+            swscope::Kind::Dispatch,
+        );
         self.schedule(
             self.now + cost,
             Ev::Quantum {
@@ -634,6 +702,13 @@ impl Service {
             .get_mut(&id)
             .expect("running job")
             .last_heartbeat_ns = self.now;
+        self.scope_event(
+            Some(spec.tenant),
+            Some(w),
+            id,
+            0,
+            swscope::Kind::Quantum { dur_ns: qcost },
+        );
 
         if now_step < spec.steps {
             let chunk = (spec.steps - now_step).min(self.cfg.quantum_steps);
@@ -685,6 +760,17 @@ impl Service {
         if deadline_missed {
             self.stats.deadline_misses += 1;
         }
+        // The deliver flow id is the exemplar's handle into the merged
+        // Chrome trace: `args.id` of the `s`/`f` pair on this job's
+        // final hop.
+        let latency_ns = finished_ns - self.jobs[&id].submitted_ns;
+        self.scope_event(
+            Some(tenant),
+            Some(w),
+            id,
+            deliver_ctx.as_ref().map_or(0, |c| c.flow_id),
+            swscope::Kind::Complete { latency_ns },
+        );
         self.try_dispatch()
     }
 
@@ -694,6 +780,10 @@ impl Service {
     /// sweep notices the orphaned job once its heartbeat ages out.
     fn kill_worker(&mut self, w: usize) {
         let wk = &mut self.workers[w];
+        let victim = match wk.state {
+            WorkerState::Busy { job } => Some(job),
+            _ => None,
+        };
         wk.runner = None;
         wk.state = WorkerState::Dead {
             until_ns: self.now + self.cfg.respawn_delay_ns,
@@ -702,10 +792,15 @@ impl Service {
         wk.rollbacks_seen = 0;
         wk.lane_panics_seen = 0;
         self.stats.worker_kills += 1;
-        swtel::flight::record("serve", "worker_kill", w as u64, 0);
+        // Payload: (worker, victim job) — the job id is how a kill
+        // alert's exemplar finds this entry in the black-box dump
+        // (u64::MAX when the worker died idle).
+        swtel::flight::record("serve", "worker_kill", w as u64, victim.unwrap_or(u64::MAX));
         if swprof::enabled() {
             swprof::metrics::counter_add("serve.worker_kills", 1);
         }
+        let tenant = victim.map(|id| self.jobs[&id].spec.tenant);
+        self.scope_event(tenant, Some(w), victim.unwrap_or(0), 0, swscope::Kind::Kill);
         self.ensure_sweep();
     }
 
@@ -738,13 +833,15 @@ impl Service {
             }
         }
         for id in to_readmit {
-            {
+            let tenant = {
                 let j = self.jobs.get_mut(&id).expect("readmitted job");
                 j.phase = JobPhase::Queued;
                 j.readmissions += 1;
-            }
+                j.spec.tenant
+            };
             self.stats.readmissions += 1;
             swtel::flight::record("serve", "job_readmit", id, 0);
+            self.scope_event(Some(tenant), None, id, 0, swscope::Kind::Readmit);
             self.enqueue(id)?;
         }
         // Reconcile: Queued jobs missing from the run queue (a

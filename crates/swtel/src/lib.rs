@@ -69,6 +69,23 @@ pub mod service {
     pub const FLOW_DELIVER: &str = "job.deliver";
 }
 
+/// Canonical labels for the telemetry plane's alert events
+/// (`swscope`). Every alert lands in the flight recorder with
+/// `kind: "scope"` and one of these labels; when a tracing session is
+/// active the same label also appears as a zero-length span on the
+/// scheduler rank, so burn-rate alerts line up against the causal
+/// timeline they indict.
+pub mod scope {
+    /// Fast-burn SLO alert (page-severity): short-window budget burn.
+    pub const ALERT_FAST_BURN: &str = "swscope.alert.fast_burn";
+    /// Slow-burn SLO alert (ticket-severity): long-window budget burn.
+    pub const ALERT_SLOW_BURN: &str = "swscope.alert.slow_burn";
+    /// Worker anomaly flag (straggler EWMA+MAD on quantum durations).
+    pub const ALERT_ANOMALY: &str = "swscope.alert.anomaly";
+    /// A previously-active alert condition fell back below threshold.
+    pub const ALERT_CLEAR: &str = "swscope.alert.clear";
+}
+
 /// Fast check: is a tracing session active? One relaxed atomic load.
 #[inline(always)]
 pub fn enabled() -> bool {

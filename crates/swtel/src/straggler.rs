@@ -6,6 +6,29 @@
 //! sits more than `k` median-absolute-deviations above the fleet
 //! median *and* beats a minimum ratio, so a tightly-clustered fleet
 //! (MAD ≈ 0) doesn't flag noise.
+//!
+//! # Degenerate fleets
+//!
+//! Detection is explicitly total — no panic, no division by zero —
+//! on the shapes that break naive MAD math:
+//!
+//! - **fewer than [`MIN_FLEET`] ranks with data** (including the
+//!   single-rank and empty-fleet cases): there is no meaningful fleet
+//!   to deviate from, so [`detect`] returns no flags. A lone rank is
+//!   by definition the fleet median.
+//! - **zero MAD** (every rank's EWMA identical, the common case for a
+//!   deterministic simulator before faults): the spread is floored at
+//!   `f64::EPSILON * max(median, 1)` so the `k·MAD` comparison stays
+//!   finite; the `min_ratio` floor then keeps an exactly-median rank
+//!   from flagging on floating-point dust. A fleet of all-equal EWMAs
+//!   never flags.
+//! - **ranks with empty series** (never ran a step): skipped — they
+//!   contribute no EWMA and cannot be flagged.
+
+/// Minimum ranks-with-data for detection to run at all. Below this
+/// (single-rank and two-rank fleets) the median and MAD are too
+/// degenerate to define an outlier, so [`detect`] returns no flags.
+pub const MIN_FLEET: usize = 3;
 
 /// Detector tuning.
 #[derive(Debug, Clone, Copy)]
@@ -68,7 +91,7 @@ fn median(sorted: &[f64]) -> f64 {
 pub fn detect(per_rank_ns: &[Vec<u64>], cfg: StragglerConfig) -> Vec<StragglerFlag> {
     let ewmas: Vec<Option<f64>> = per_rank_ns.iter().map(|s| ewma(s, cfg.alpha)).collect();
     let mut values: Vec<f64> = ewmas.iter().filter_map(|e| *e).collect();
-    if values.len() < 3 {
+    if values.len() < MIN_FLEET {
         return Vec::new(); // no meaningful fleet to deviate from
     }
     values.sort_by(|a, b| a.total_cmp(b));
@@ -76,6 +99,11 @@ pub fn detect(per_rank_ns: &[Vec<u64>], cfg: StragglerConfig) -> Vec<StragglerFl
     let mut devs: Vec<f64> = values.iter().map(|v| (v - med).abs()).collect();
     devs.sort_by(|a, b| a.total_cmp(b));
     let mad = median(&devs);
+    // Zero-MAD floor: an all-equal fleet has mad == 0, which would
+    // make `ewma - med > k * mad` true for any positive rounding
+    // residue. Flooring at an epsilon of the median keeps the
+    // comparison finite, and the `min_ratio` gate below keeps
+    // dust-sized deviations from flagging.
     let spread = mad.max(f64::EPSILON * med.max(1.0));
 
     let mut flags = Vec::new();
@@ -137,5 +165,62 @@ mod tests {
     fn tiny_fleets_never_flag() {
         let series = vec![vec![1000; 5], vec![9000; 5]];
         assert!(detect(&series, StragglerConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn single_rank_fleet_is_quiet() {
+        // One rank is the fleet median by definition: no flags, no
+        // panic, whatever its values look like.
+        for series in [
+            vec![vec![1_000_000; 50]],
+            vec![vec![0; 3]],
+            vec![(0..40).map(|i| i * i * 999).collect::<Vec<u64>>()],
+        ] {
+            assert!(detect(&series, StragglerConfig::default()).is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_fleet_and_empty_series_are_quiet() {
+        assert!(detect(&[], StragglerConfig::default()).is_empty());
+        // Ranks that never ran a step contribute nothing; with fewer
+        // than MIN_FLEET live ranks the fleet is degenerate.
+        let series = vec![Vec::new(), vec![1000; 5], Vec::new(), vec![1000; 5]];
+        assert!(detect(&series, StragglerConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn zero_mad_all_equal_fleet_never_flags() {
+        // Every EWMA identical: MAD is exactly 0. The epsilon floor
+        // plus the min_ratio gate must keep the fleet quiet at any
+        // size and any magnitude (including all-zero).
+        for magnitude in [0u64, 1, 1000, u32::MAX as u64] {
+            let series: Vec<Vec<u64>> = (0..16).map(|_| vec![magnitude; 10]).collect();
+            let flags = detect(&series, StragglerConfig::default());
+            assert!(flags.is_empty(), "magnitude {magnitude}: {flags:?}");
+        }
+    }
+
+    #[test]
+    fn zero_mad_fleet_still_catches_a_real_straggler() {
+        // 15 identical ranks (MAD 0 among themselves) + 1 rank 10×
+        // slower: the floor must not suppress a genuine outlier.
+        let mut series: Vec<Vec<u64>> = (0..16).map(|_| vec![1000; 10]).collect();
+        series[7] = vec![10_000; 10];
+        let flags = detect(&series, StragglerConfig::default());
+        assert_eq!(flags.len(), 1);
+        assert_eq!(flags[0].rank, 7);
+    }
+
+    #[test]
+    fn min_fleet_boundary() {
+        // Exactly MIN_FLEET live ranks: detection runs.
+        let mut series: Vec<Vec<u64>> = (0..MIN_FLEET).map(|_| vec![1000; 10]).collect();
+        series[1] = vec![50_000; 10];
+        let flags = detect(&series, StragglerConfig::default());
+        assert_eq!(flags.len(), 1, "{flags:?}");
+        // One fewer: quiet.
+        let small: Vec<Vec<u64>> = series.into_iter().take(MIN_FLEET - 1).collect();
+        assert!(detect(&small, StragglerConfig::default()).is_empty());
     }
 }
